@@ -1,0 +1,282 @@
+// Package repro's root benchmarks regenerate a scaled version of every
+// table and figure in the paper's evaluation (one benchmark per
+// experiment), plus ablation benches for the design choices DESIGN.md
+// calls out. Full-scale regeneration is cmd/benchtab's job; these keep
+// each experiment exercised by `go test -bench`.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/linalg"
+	"repro/internal/mapping"
+	"repro/internal/models"
+	"repro/internal/pauli"
+	"repro/internal/sim"
+	"repro/internal/taper"
+)
+
+// benchOptions keeps the testing.B experiments at smoke scale.
+func benchOptions() bench.Options {
+	return bench.Options{
+		MaxModes:   14,
+		FHMaxModes: 4,
+		FHBudget:   100_000,
+		Shots:      50,
+		GridSteps:  2,
+		MaxN:       10,
+		FHMaxN:     4,
+	}
+}
+
+func BenchmarkTable1Electronic(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1(opt)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable2Hubbard(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table2(opt)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable3Neutrino(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table3(opt)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable4TetrisRouting(b *testing.B) {
+	opt := benchOptions()
+	opt.MaxModes = 6
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table4(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable5RustiqSynthesis(b *testing.B) {
+	opt := benchOptions()
+	opt.MaxModes = 12
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table5(opt)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable6UnoptVsOpt(b *testing.B) {
+	opt := benchOptions()
+	opt.MaxModes = 12
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table6(opt)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFigure10NoisyGrid(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.Figure10(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+func BenchmarkFigure11IonQ(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figure11(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12Scalability(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Figure12(opt)
+		bench.PrintFigure12(io.Discard, rows)
+	}
+}
+
+// --- Ablation benches -----------------------------------------------------
+
+func BenchmarkHATTConstruction3x3(b *testing.B) {
+	mh := models.FermiHubbard(3, 3, 1, 4).Majorana(1e-12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.Build(mh).PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkHATTConstruction4x4(b *testing.B) {
+	mh := models.FermiHubbard(4, 4, 1, 4).Majorana(1e-12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.Build(mh).PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkHATTUnoptConstruction3x3(b *testing.B) {
+	mh := models.FermiHubbard(3, 3, 1, 4).Majorana(1e-12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.BuildUnopt(mh).PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkHATTUncached3x3(b *testing.B) {
+	// Ablation: Algorithm 2 without the Algorithm 3 caches (O(N⁴)).
+	mh := models.FermiHubbard(3, 3, 1, 4).Majorana(1e-12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.BuildUncached(mh).PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkExhaustiveSearch2x2Budget(b *testing.B) {
+	mh := models.FermiHubbard(2, 2, 1, 4).Majorana(1e-12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.Exhaustive(mh, 50_000).PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkAnneal2x3(b *testing.B) {
+	mh := models.FermiHubbard(2, 3, 1, 4).Majorana(1e-12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Anneal(mh, core.AnnealOptions{Iters: 500, Seed: int64(i + 1)})
+		if res.PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkMappingApplyNeutrino(b *testing.B) {
+	// Cost of mapping application (string multiplication) in isolation.
+	mh := models.NeutrinoOscillation(4, 2, 1).Majorana(1e-12)
+	m := mapping.JordanWigner(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Apply(mh).Weight() <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkCircuitCompileH2O(b *testing.B) {
+	mh := models.SyntheticMolecule("H2O", 14, 103, 0.56).Majorana(1e-12)
+	hq := mapping.JordanWigner(14).Apply(mh)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if circuit.Compile(hq, circuit.OrderLexicographic).CNOTCount() <= 0 {
+			b.Fatal("bad circuit")
+		}
+	}
+}
+
+func BenchmarkBeamSearch2x2Width8(b *testing.B) {
+	mh := models.FermiHubbard(2, 2, 1, 4).Majorana(1e-12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.BuildBeam(mh, 8).PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkTieBreakSupport2x3(b *testing.B) {
+	mh := models.FermiHubbard(2, 3, 1, 4).Majorana(1e-12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.BuildWithOptions(mh, core.BuildOptions{TieBreak: core.TieSupport})
+		if res.PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkDensityNoisyH2(b *testing.B) {
+	mh := models.H2STO3G().Majorana(1e-12)
+	m := mapping.JordanWigner(4)
+	hq := m.Apply(mh)
+	cc := circuit.Compile(hq, circuit.OrderLexicographic)
+	nm := sim.IonQForte1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sim.ExactNoisyEnergy(nil, cc, hq, nm)
+	}
+}
+
+func BenchmarkTaperH2(b *testing.B) {
+	hq := mapping.JordanWigner(4).ApplyFermionic(models.H2STO3G())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := taper.GroundSector(hq, linalg.GroundEnergy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQWCGroupingNeutrino(b *testing.B) {
+	mh := models.NeutrinoOscillation(3, 2, 1).Majorana(1e-12)
+	hq := mapping.JordanWigner(12).Apply(mh)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(pauli.GroupQWC(hq)) == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+func BenchmarkHeadlineSummary(b *testing.B) {
+	opt := benchOptions()
+	opt.MaxModes = 8
+	opt.FHMaxModes = 0
+	for i := 0; i < b.N; i++ {
+		if len(bench.HeadlineSummaries(opt)) != 3 {
+			b.Fatal("bad summary")
+		}
+	}
+}

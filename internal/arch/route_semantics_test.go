@@ -1,0 +1,79 @@
+package arch
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/pauli"
+	"repro/internal/sim"
+)
+
+// TestRoutePreservesSemantics simulates a logical circuit and its routed
+// version and checks they produce the same state once the routed
+// amplitudes are read back through the final layout permutation.
+func TestRoutePreservesSemantics(t *testing.T) {
+	d := NewDevice("line5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	h := pauli.NewHamiltonian(4)
+	h.Add(0.4, pauli.MustParse("XIIX"))
+	h.Add(0.3, pauli.MustParse("IZZI"))
+	h.Add(-0.6, pauli.MustParse("YIXI"))
+	logical := circuit.Compile(h, circuit.OrderLexicographic)
+
+	res, err := Route(logical, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwapsAdded == 0 {
+		t.Fatal("expected routing to insert swaps on a line device")
+	}
+
+	ls := sim.NewState(4)
+	ls.ApplyCircuit(logical)
+	ps := sim.NewState(d.N)
+	ps.ApplyCircuit(res.Circuit)
+
+	// Read back: logical basis index b corresponds to physical index with
+	// bit layout[q] = bit q of b; all other physical qubits must be 0.
+	var phase complex128
+	for b := 0; b < 1<<4; b++ {
+		pb := 0
+		for q := 0; q < 4; q++ {
+			if b>>uint(q)&1 == 1 {
+				pb |= 1 << uint(res.FinalLayout[q])
+			}
+		}
+		la, pa := ls.Amp[b], ps.Amp[pb]
+		if cmplx.Abs(la) < 1e-10 && cmplx.Abs(pa) < 1e-10 {
+			continue
+		}
+		if cmplx.Abs(la) < 1e-10 || cmplx.Abs(pa) < 1e-10 {
+			t.Fatalf("amplitude support mismatch at %04b: %v vs %v", b, la, pa)
+		}
+		if phase == 0 {
+			phase = pa / la
+			if math.Abs(cmplx.Abs(phase)-1) > 1e-9 {
+				t.Fatalf("non-unit relative phase %v", phase)
+			}
+			continue
+		}
+		if cmplx.Abs(la*phase-pa) > 1e-9 {
+			t.Fatalf("routed amplitude differs at %04b", b)
+		}
+	}
+	// Any amplitude outside the mapped subspace must vanish.
+	total := 0.0
+	for b := 0; b < 1<<4; b++ {
+		pb := 0
+		for q := 0; q < 4; q++ {
+			if b>>uint(q)&1 == 1 {
+				pb |= 1 << uint(res.FinalLayout[q])
+			}
+		}
+		total += real(ps.Amp[pb])*real(ps.Amp[pb]) + imag(ps.Amp[pb])*imag(ps.Amp[pb])
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("routed state leaks outside the layout subspace: %v", total)
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBeamAblation(t *testing.T) {
+	opt := quickOptions()
+	opt.MaxModes = 8
+	rows := BeamAblation([]int{1, 2}, opt)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if len(r.Weights) != 2 || len(r.Times) != 2 {
+			t.Fatalf("%s: malformed row %+v", r.Case, r)
+		}
+		// Beam(k) never loses to beam(1) thanks to the incumbent rule.
+		if r.Weights[1] > r.Weights[0] {
+			t.Errorf("%s: beam(2) %d worse than beam(1) %d", r.Case, r.Weights[1], r.Weights[0])
+		}
+	}
+	var buf bytes.Buffer
+	PrintBeamAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "beam width") {
+		t.Error("printout missing title")
+	}
+}
+
+func TestOrderingAblation(t *testing.T) {
+	opt := quickOptions()
+	opt.MaxModes = 8
+	rows := OrderingAblation(opt)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if len(r.Orders) != 3 {
+			t.Fatalf("%s: want 3 orderings", r.Case)
+		}
+		for i, c := range r.CNOTs {
+			if c <= 0 || r.Depths[i] <= 0 {
+				t.Errorf("%s/%s: empty metrics", r.Case, r.Orders[i])
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintOrderingAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty printout")
+	}
+}
+
+func TestCacheAblation(t *testing.T) {
+	opt := quickOptions()
+	opt.MaxN = 8
+	rows := CacheAblation(opt)
+	if len(rows) != 2 { // N = 4, 8
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cached <= 0 || r.Uncached <= 0 {
+			t.Errorf("N=%d: zero timings", r.Modes)
+		}
+	}
+	var buf bytes.Buffer
+	PrintCacheAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "Algorithm-3") {
+		t.Error("printout missing title")
+	}
+}
+
+func TestTieBreakAblation(t *testing.T) {
+	opt := quickOptions()
+	opt.MaxModes = 8
+	rows := TieBreakAblation(opt)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if len(r.Policies) != 3 || len(r.Weights) != 3 || len(r.Depths) != 3 {
+			t.Fatalf("%s: malformed row", r.Case)
+		}
+		for i := range r.Weights {
+			if r.Weights[i] <= 0 || r.Depths[i] <= 0 {
+				t.Errorf("%s/%s: zero metrics", r.Case, r.Policies[i])
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintTieBreakAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "tie-breaking") {
+		t.Error("printout missing title")
+	}
+}
+
+func TestFigure10Exact(t *testing.T) {
+	opt := quickOptions()
+	cells, err := Figure10Exact(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no cells")
+	}
+	// Exact bias must be monotone in p2 for fixed mapping and p1 on this
+	// workload (depolarizing contraction).
+	byKey := map[string][]Figure10ExactCell{}
+	for _, c := range cells {
+		k := c.Mapping
+		byKey[k] = append(byKey[k], c)
+	}
+	for _, c := range cells {
+		if c.Bias < 0 {
+			t.Errorf("negative bias: %+v", c)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure10Exact(&buf, cells)
+	if !strings.Contains(buf.String(), "exact") {
+		t.Error("printout missing title")
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Summary aggregates the headline claims of the paper's abstract: the
+// average percentage reduction of HATT versus each baseline, per metric,
+// across a table's rows.
+type Summary struct {
+	Table     string
+	Baselines []string
+	// Reduction[baseline][metric] is the mean percent reduction of HATT
+	// relative to the baseline (positive = HATT better). Metrics indexed
+	// 0: weight, 1: CNOTs, 2: depth.
+	Reduction map[string][3]float64
+	Cases     int
+}
+
+// Summarize computes HATT-vs-baseline average reductions over rows.
+func Summarize(table string, rows []Row) Summary {
+	baselines := []string{"JW", "BK", "BTT"}
+	s := Summary{Table: table, Baselines: baselines, Reduction: make(map[string][3]float64)}
+	for _, b := range baselines {
+		var acc [3]float64
+		n := 0
+		for _, r := range rows {
+			hm, ok := r.Metrics["HATT"]
+			bm, ok2 := r.Metrics[b]
+			if !ok || !ok2 || hm.Skip || bm.Skip {
+				continue
+			}
+			if bm.Weight == 0 || bm.CNOTs == 0 || bm.Depth == 0 {
+				continue
+			}
+			acc[0] += 100 * float64(bm.Weight-hm.Weight) / float64(bm.Weight)
+			acc[1] += 100 * float64(bm.CNOTs-hm.CNOTs) / float64(bm.CNOTs)
+			acc[2] += 100 * float64(bm.Depth-hm.Depth) / float64(bm.Depth)
+			n++
+		}
+		if n > 0 {
+			for i := range acc {
+				acc[i] /= float64(n)
+			}
+		}
+		s.Reduction[b] = acc
+		s.Cases = n
+	}
+	return s
+}
+
+// PrintSummary renders the headline aggregate, mirroring the abstract's
+// "5∼20% reduction in Pauli weight, gate count, and circuit depth" claim
+// structure.
+func PrintSummary(w io.Writer, summaries []Summary) {
+	fmt.Fprintln(w, "== Headline summary: mean HATT reduction vs baselines ==")
+	fmt.Fprintf(w, "%-12s %-6s | %10s %10s %10s\n", "Table", "vs", "weight", "CNOTs", "depth")
+	for _, s := range summaries {
+		for _, b := range s.Baselines {
+			r := s.Reduction[b]
+			fmt.Fprintf(w, "%-12s %-6s | %9.2f%% %9.2f%% %9.2f%%\n", s.Table, b, r[0], r[1], r[2])
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// HeadlineSummaries runs Tables I–III and aggregates them.
+func HeadlineSummaries(opt Options) []Summary {
+	return []Summary{
+		Summarize("electronic", Table1(opt)),
+		Summarize("hubbard", Table2(opt)),
+		Summarize("neutrino", Table3(opt)),
+	}
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	rows := []Row{
+		{
+			Case: "a", Modes: 4,
+			Metrics: map[string]Metric{
+				"JW":   {Weight: 100, CNOTs: 200, Depth: 300},
+				"BK":   {Weight: 90, CNOTs: 180, Depth: 280},
+				"BTT":  {Weight: 95, CNOTs: 190, Depth: 290},
+				"HATT": {Weight: 80, CNOTs: 150, Depth: 240},
+			},
+		},
+	}
+	s := Summarize("test", rows)
+	if s.Cases != 1 {
+		t.Fatalf("cases = %d", s.Cases)
+	}
+	r := s.Reduction["JW"]
+	if r[0] != 20 || r[1] != 25 || r[2] != 20 {
+		t.Errorf("JW reductions = %v", r)
+	}
+	var buf bytes.Buffer
+	PrintSummary(&buf, []Summary{s})
+	if !strings.Contains(buf.String(), "Headline") {
+		t.Error("missing title")
+	}
+}
+
+func TestHeadlineSummariesQuick(t *testing.T) {
+	opt := quickOptions()
+	opt.MaxModes = 8
+	sums := HeadlineSummaries(opt)
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	// Hubbard at 2x2: HATT should show a nonnegative weight reduction vs
+	// the worst baseline at least.
+	hub := sums[1]
+	if hub.Cases == 0 {
+		t.Fatal("hubbard summary empty")
+	}
+}

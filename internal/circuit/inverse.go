@@ -1,0 +1,78 @@
+package circuit
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Inverse returns the circuit implementing U†: gates reversed, each
+// single-qubit matrix conjugate-transposed (CNOTs are self-inverse).
+func (c *Circuit) Inverse() *Circuit {
+	inv := New(c.N)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		if g.Kind == KindSingle {
+			g.M = dagger(g.M)
+			g.Label = g.Label + "†"
+		}
+		inv.Append(g)
+	}
+	return inv
+}
+
+func dagger(m [2][2]complex128) [2][2]complex128 {
+	return [2][2]complex128{
+		{cmplx.Conj(m[0][0]), cmplx.Conj(m[1][0])},
+		{cmplx.Conj(m[0][1]), cmplx.Conj(m[1][1])},
+	}
+}
+
+// Validate checks structural well-formedness: qubit indices in range,
+// CNOT control ≠ target, and unitary single-qubit matrices.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		if g.Q < 0 || g.Q >= c.N {
+			return fmt.Errorf("circuit: gate %d target %d out of range", i, g.Q)
+		}
+		switch g.Kind {
+		case KindCNOT:
+			if g.Q2 < 0 || g.Q2 >= c.N {
+				return fmt.Errorf("circuit: gate %d control %d out of range", i, g.Q2)
+			}
+			if g.Q2 == g.Q {
+				return fmt.Errorf("circuit: gate %d control equals target", i)
+			}
+		case KindSingle:
+			if !isUnitary(g.M) {
+				return fmt.Errorf("circuit: gate %d (%s) matrix not unitary", i, g.Label)
+			}
+		default:
+			return fmt.Errorf("circuit: gate %d unknown kind %d", i, g.Kind)
+		}
+	}
+	return nil
+}
+
+func isUnitary(m [2][2]complex128) bool {
+	p := mulMat(m, dagger(m))
+	return cmplx.Abs(p[0][0]-1) < 1e-9 && cmplx.Abs(p[1][1]-1) < 1e-9 &&
+		cmplx.Abs(p[0][1]) < 1e-9 && cmplx.Abs(p[1][0]) < 1e-9
+}
+
+// GateHistogram counts gates by label class: "CX" plus each single-qubit
+// label (merged gates count as "U3").
+func (c *Circuit) GateHistogram() map[string]int {
+	h := make(map[string]int)
+	for _, g := range c.Gates {
+		if g.Kind == KindCNOT {
+			h["CX"]++
+			continue
+		}
+		label := g.Label
+		if len(label) >= 2 && label[:2] == "RZ" {
+			label = "RZ"
+		}
+		h[label]++
+	}
+	return h
+}

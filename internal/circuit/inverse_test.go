@@ -1,0 +1,84 @@
+package circuit
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+func TestInverseUndoesCircuit(t *testing.T) {
+	h := pauli.NewHamiltonian(3)
+	h.Add(0.4, pauli.MustParse("XYZ"))
+	h.Add(-0.7, pauli.MustParse("ZZX"))
+	c := Compile(h, circuitOrderLex())
+	inv := c.Inverse()
+	r := rand.New(rand.NewSource(2))
+	psi := randomState(r, 3)
+	v := append([]complex128{}, psi...)
+	runCircuit(c, v)
+	runCircuit(inv, v)
+	for i := range psi {
+		if cmplx.Abs(v[i]-psi[i]) > 1e-9 {
+			t.Fatalf("U†U ≠ I at amplitude %d", i)
+		}
+	}
+}
+
+func circuitOrderLex() TermOrder { return OrderLexicographic }
+
+func TestValidateAcceptsAndRejects(t *testing.T) {
+	c := New(2)
+	c.Append(H(0), CNOT(0, 1), Rz(1, 0.4))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a matrix: no longer unitary.
+	bad := New(1)
+	bad.Append(H(0))
+	bad.Gates[0].M[0][0] = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("non-unitary gate accepted")
+	}
+	// Corrupt a CNOT after construction.
+	bad2 := New(2)
+	bad2.Append(CNOT(0, 1))
+	bad2.Gates[0].Q2 = 1
+	if err := bad2.Validate(); err == nil {
+		t.Error("control==target accepted")
+	}
+}
+
+func TestGateHistogram(t *testing.T) {
+	c := New(2)
+	c.Append(H(0), H(1), CNOT(0, 1), Rz(1, 0.3), Rz(0, 0.5))
+	hist := c.GateHistogram()
+	if hist["CX"] != 1 || hist["H"] != 2 || hist["RZ"] != 2 {
+		t.Errorf("histogram = %v", hist)
+	}
+}
+
+func TestInverseOfOptimizedStillInverse(t *testing.T) {
+	h := pauli.NewHamiltonian(2)
+	h.Add(0.3, pauli.MustParse("XX"))
+	h.Add(0.6, pauli.MustParse("ZZ"))
+	c := Optimize(SynthesizeTrotter2(h, 0.7, 1, OrderLexicographic))
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inv := c.Inverse()
+	if err := inv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	psi := randomState(r, 2)
+	v := append([]complex128{}, psi...)
+	runCircuit(c, v)
+	runCircuit(inv, v)
+	for i := range psi {
+		if cmplx.Abs(v[i]-psi[i]) > 1e-9 {
+			t.Fatalf("optimized inverse broken at %d", i)
+		}
+	}
+}

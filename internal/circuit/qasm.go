@@ -1,0 +1,136 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// U3Angles decomposes a 2×2 unitary into the OpenQASM u3(θ, φ, λ) angles,
+// up to global phase:
+//
+//	u3 = [[cos(θ/2),            −e^{iλ} sin(θ/2)],
+//	      [e^{iφ} sin(θ/2),  e^{i(φ+λ)} cos(θ/2)]]
+func U3Angles(m [2][2]complex128) (theta, phi, lambda float64) {
+	c := cmplx.Abs(m[0][0])
+	if c > 1 {
+		c = 1
+	}
+	theta = 2 * math.Acos(c)
+	s := math.Sin(theta / 2)
+	if cmplx.Abs(m[0][0]) > 1e-12 {
+		// Normalize away the global phase of the (0,0) entry.
+		g := m[0][0] / complex(cmplx.Abs(m[0][0]), 0)
+		if s > 1e-12 {
+			phi = cmplx.Phase(m[1][0] / g)
+			lambda = cmplx.Phase(-m[0][1] / g)
+		} else {
+			// Diagonal gate: fold everything into λ.
+			phi = 0
+			lambda = cmplx.Phase(m[1][1] / g)
+		}
+	} else {
+		// Anti-diagonal gate (θ = π): align the global phase with the
+		// (1,0) entry, then λ follows from the (0,1) entry.
+		phi = cmplx.Phase(m[1][0])
+		lambda = cmplx.Phase(-m[0][1])
+	}
+	return theta, phi, lambda
+}
+
+// u3Matrix rebuilds the unitary from angles (for round-trip tests).
+func u3Matrix(theta, phi, lambda float64) [2][2]complex128 {
+	ct := complex(math.Cos(theta/2), 0)
+	st := complex(math.Sin(theta/2), 0)
+	return [2][2]complex128{
+		{ct, -cmplx.Exp(complex(0, lambda)) * st},
+		{cmplx.Exp(complex(0, phi)) * st, cmplx.Exp(complex(0, phi+lambda)) * ct},
+	}
+}
+
+// WriteQASM emits the circuit as OpenQASM 2.0 over the {u3, cx} basis.
+func (c *Circuit) WriteQASM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[%d];\n", c.N); err != nil {
+		return err
+	}
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case KindCNOT:
+			if _, err := fmt.Fprintf(w, "cx q[%d],q[%d];\n", g.Q2, g.Q); err != nil {
+				return err
+			}
+		case KindSingle:
+			t, p, l := U3Angles(g.M)
+			if _, err := fmt.Fprintf(w, "u3(%.10g,%.10g,%.10g) q[%d];\n", t, p, l, g.Q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// QASM returns the OpenQASM 2.0 text.
+func (c *Circuit) QASM() string {
+	var b strings.Builder
+	_ = c.WriteQASM(&b)
+	return b.String()
+}
+
+// Diagram renders a fixed-width text diagram, one row per qubit, time
+// flowing left to right. Intended for small circuits (examples, debugging).
+func (c *Circuit) Diagram() string {
+	type col struct {
+		cells map[int]string
+		qs    []int
+	}
+	var cols []col
+	level := make([]int, c.N)
+	place := func(qs []int, cells map[int]string) {
+		l := 0
+		for _, q := range qs {
+			if level[q] > l {
+				l = level[q]
+			}
+		}
+		for len(cols) <= l {
+			cols = append(cols, col{cells: map[int]string{}})
+		}
+		for q, s := range cells {
+			cols[l].cells[q] = s
+		}
+		for _, q := range qs {
+			level[q] = l + 1
+		}
+	}
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case KindCNOT:
+			place([]int{g.Q, g.Q2}, map[int]string{g.Q2: "─●─", g.Q: "─⊕─"})
+		case KindSingle:
+			lbl := g.Label
+			if len(lbl) > 3 {
+				lbl = lbl[:3]
+			}
+			place([]int{g.Q}, map[int]string{g.Q: fmt.Sprintf("[%s]", lbl)})
+		}
+	}
+	var b strings.Builder
+	for q := c.N - 1; q >= 0; q-- {
+		fmt.Fprintf(&b, "q%-2d ", q)
+		for _, cl := range cols {
+			cell, ok := cl.cells[q]
+			if !ok {
+				cell = "───"
+			}
+			b.WriteString(cell)
+			for len([]rune(cell)) < 5 {
+				b.WriteString("─")
+				cell += "─"
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+func matricesEqualUpToPhase(a, b [2][2]complex128) bool {
+	// Find the first entry of significant magnitude and align phases.
+	var phase complex128
+	found := false
+	for i := 0; i < 2 && !found; i++ {
+		for j := 0; j < 2 && !found; j++ {
+			if cmplx.Abs(a[i][j]) > 1e-8 {
+				if cmplx.Abs(b[i][j]) < 1e-10 {
+					return false
+				}
+				phase = b[i][j] / a[i][j]
+				found = true
+			}
+		}
+	}
+	if !found {
+		return true
+	}
+	if math.Abs(cmplx.Abs(phase)-1) > 1e-8 {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(a[i][j]*phase-b[i][j]) > 1e-8 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestU3AnglesRoundTrip(t *testing.T) {
+	gates := []Gate{H(0), RxPlus(0), RxMinus(0), X(0), Rz(0, 0.7), Rz(0, -2.1)}
+	for _, g := range gates {
+		th, ph, la := U3Angles(g.M)
+		back := u3Matrix(th, ph, la)
+		if !matricesEqualUpToPhase(g.M, back) {
+			t.Errorf("%s: round trip failed: %v vs %v", g.Label, g.M, back)
+		}
+	}
+}
+
+func TestU3AnglesRoundTripRandomProducts(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	base := []Gate{H(0), RxPlus(0), Rz(0, 0.3), X(0), Rz(0, 1.2)}
+	for trial := 0; trial < 50; trial++ {
+		m := [2][2]complex128{{1, 0}, {0, 1}}
+		for k := 0; k < 4; k++ {
+			m = mulMat(base[r.Intn(len(base))].M, m)
+		}
+		th, ph, la := U3Angles(m)
+		if !matricesEqualUpToPhase(m, u3Matrix(th, ph, la)) {
+			t.Fatalf("random product round trip failed: %v", m)
+		}
+	}
+}
+
+func TestQASMOutput(t *testing.T) {
+	c := New(2)
+	c.Append(H(0), CNOT(0, 1), Rz(1, 0.5))
+	q := c.QASM()
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		"qreg q[2];",
+		"cx q[0],q[1];",
+		"u3(",
+	} {
+		if !strings.Contains(q, want) {
+			t.Errorf("QASM missing %q:\n%s", want, q)
+		}
+	}
+	if strings.Count(q, "u3(") != 2 {
+		t.Errorf("expected 2 u3 gates:\n%s", q)
+	}
+}
+
+func TestDiagramRendering(t *testing.T) {
+	c := New(2)
+	c.Append(H(0), CNOT(0, 1))
+	d := c.Diagram()
+	if !strings.Contains(d, "●") || !strings.Contains(d, "⊕") {
+		t.Errorf("diagram missing CNOT glyphs:\n%s", d)
+	}
+	if !strings.Contains(d, "[H") {
+		t.Errorf("diagram missing H label:\n%s", d)
+	}
+	if lines := strings.Count(d, "\n"); lines != 2 {
+		t.Errorf("diagram has %d lines, want 2", lines)
+	}
+}
+
+func TestTrotter2MatchesExactBetterThanTrotter1(t *testing.T) {
+	// Non-commuting 2-term Hamiltonian: the symmetric splitting must track
+	// the exact evolution more closely than first order at the same step
+	// count.
+	// XX and ZI anticommute, so the splitting order matters.
+	h := pauli.NewHamiltonian(2)
+	h.Add(0.6, pauli.MustParse("XX"))
+	h.Add(0.5, pauli.MustParse("ZI"))
+	tEvo := 0.4
+	psi0 := randomState(rand.New(rand.NewSource(3)), 2)
+
+	run := func(c *Circuit) []complex128 {
+		v := append([]complex128{}, psi0...)
+		runCircuit(c, v)
+		return v
+	}
+	exact := append([]complex128{}, psi0...)
+	exactEvolve(&exact, h, tEvo)
+
+	t1 := run(SynthesizeTrotter(h, tEvo, 2, OrderNatural))
+	t2 := run(SynthesizeTrotter2(h, tEvo, 2, OrderNatural))
+	e1 := stateDistance(t1, exact)
+	e2 := stateDistance(t2, exact)
+	if e2 >= e1 {
+		t.Errorf("2nd order error %v not better than 1st order %v", e2, e1)
+	}
+	if e2 > 1e-3 {
+		t.Errorf("2nd order error %v too large", e2)
+	}
+}
+
+// exactEvolve applies exp(−iHt) by Taylor series.
+func exactEvolve(psi *[]complex128, h *pauli.Hamiltonian, t float64) {
+	applyH := func(in []complex128) []complex128 {
+		out := make([]complex128, len(in))
+		for _, term := range h.Terms() {
+			tmp := append([]complex128{}, in...)
+			// Apply the Pauli string to tmp.
+			n := 0
+			for 1<<uint(n) < len(in) {
+				n++
+			}
+			applyPauliVec(term.S, tmp)
+			for i := range out {
+				out[i] += term.Coeff * tmp[i]
+			}
+		}
+		return out
+	}
+	result := append([]complex128{}, *psi...)
+	cur := append([]complex128{}, *psi...)
+	for k := 1; k <= 30; k++ {
+		cur = applyH(cur)
+		f := complex(0, -t) / complex(float64(k), 0)
+		for i := range cur {
+			cur[i] *= f
+			result[i] += cur[i]
+		}
+	}
+	*psi = result
+}
+
+func applyPauliVec(p pauli.String, psi []complex128) {
+	out := applyPauli(p, psi)
+	copy(psi, out)
+}
+
+func stateDistance(a, b []complex128) float64 {
+	d := 0.0
+	for i := range a {
+		d += cmplx.Abs(a[i]-b[i]) * cmplx.Abs(a[i]-b[i])
+	}
+	return math.Sqrt(d)
+}
+
+func TestTrotter2PalindromeOptimizes(t *testing.T) {
+	// The mirrored second-order structure should let the optimizer cancel
+	// at least the junction basis changes: optimized CX count strictly
+	// below raw.
+	h := pauli.NewHamiltonian(3)
+	h.Add(0.4, pauli.MustParse("XXI"))
+	h.Add(0.3, pauli.MustParse("IZZ"))
+	raw := SynthesizeTrotter2(h, 1.0, 1, OrderLexicographic)
+	opt := Optimize(raw)
+	if opt.CNOTCount() >= raw.CNOTCount() {
+		t.Errorf("no cancellation at the palindrome junction: %d vs %d",
+			opt.CNOTCount(), raw.CNOTCount())
+	}
+}

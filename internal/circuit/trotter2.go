@@ -1,0 +1,25 @@
+package circuit
+
+import "repro/internal/pauli"
+
+// SynthesizeTrotter2 compiles second-order (symmetric Suzuki–Trotter)
+// steps of exp(−i·H·t): each step applies the ordered terms at half angle
+// forward then in reverse, giving O(t³/steps²) error per step instead of
+// first order's O(t²/steps). The palindrome structure also lets the
+// peephole pass cancel the mirrored basis changes and ladder ends.
+func SynthesizeTrotter2(h *pauli.Hamiltonian, t float64, steps int, ord TermOrder) *Circuit {
+	if steps < 1 {
+		steps = 1
+	}
+	c := New(h.N())
+	ts := OrderTerms(h, ord)
+	for s := 0; s < steps; s++ {
+		for _, term := range ts {
+			AppendEvolution(c, term.S, real(term.Coeff)*t/float64(steps))
+		}
+		for i := len(ts) - 1; i >= 0; i-- {
+			AppendEvolution(c, ts[i].S, real(ts[i].Coeff)*t/float64(steps))
+		}
+	}
+	return c
+}

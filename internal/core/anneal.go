@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/fermion"
+	"repro/internal/mapping"
+	"repro/internal/tree"
+)
+
+// AnnealOptions configures the simulated-annealing search. Zero values get
+// sensible defaults.
+type AnnealOptions struct {
+	Iters  int     // mutation attempts (default 2000·N)
+	TStart float64 // initial temperature (default 2.0)
+	TEnd   float64 // final temperature (default 0.01)
+	Seed   int64   // RNG seed (default 1)
+}
+
+// Anneal refines the greedy HATT-unopt tree by simulated annealing over
+// tree space: the mutation swaps two random non-root nodes that are not in
+// ancestor/descendant relation, which reaches every complete ternary tree
+// shape and leaf placement. It stands in for Fermihedral's approximate
+// ('*') solutions at sizes where the exhaustive search is infeasible.
+// The result keeps the leaf-ID-to-Majorana assignment, so like Fermihedral
+// it does not guarantee vacuum-state preservation.
+func Anneal(mh *fermion.MajoranaHamiltonian, opts AnnealOptions) *Result {
+	if opts.Iters == 0 {
+		opts.Iters = 2000 * mh.Modes
+	}
+	if opts.TStart == 0 {
+		opts.TStart = 2.0
+	}
+	if opts.TEnd == 0 {
+		opts.TEnd = 0.01
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	p := newProblem(mh)
+	cur := buildUnoptBuilder(newProblem(mh)).finish()
+	curW := p.evaluateTree(cur)
+	best := cloneTree(cur)
+	bestW := curW
+
+	r := rand.New(rand.NewSource(opts.Seed))
+	all := collectNodes(cur)
+	cool := math.Pow(opts.TEnd/opts.TStart, 1/math.Max(1, float64(opts.Iters-1)))
+	temp := opts.TStart
+	for it := 0; it < opts.Iters; it++ {
+		a := all[r.Intn(len(all))]
+		b := all[r.Intn(len(all))]
+		if a == b || a.Parent == nil || b.Parent == nil || related(a, b) {
+			temp *= cool
+			continue
+		}
+		swapNodes(a, b)
+		w := p.evaluateTree(cur)
+		delta := float64(w - curW)
+		if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
+			curW = w
+			if w < bestW {
+				bestW = w
+				best = cloneTree(cur)
+			}
+		} else {
+			swapNodes(a, b) // revert
+		}
+		temp *= cool
+	}
+	return &Result{
+		Mapping:         mapping.FromTreeByLeafID("FH-anneal", best),
+		Tree:            best,
+		PredictedWeight: bestW,
+	}
+}
+
+// related reports whether one node is an ancestor of the other.
+func related(a, b *tree.Node) bool {
+	for n := a; n != nil; n = n.Parent {
+		if n == b {
+			return true
+		}
+	}
+	for n := b; n != nil; n = n.Parent {
+		if n == a {
+			return true
+		}
+	}
+	return false
+}
+
+// swapNodes exchanges the tree positions of two unrelated non-root nodes.
+func swapNodes(a, b *tree.Node) {
+	pa, ba := a.Parent, a.PBranch
+	pb, bb := b.Parent, b.PBranch
+	pa.Child[ba] = b
+	b.Parent, b.PBranch = pa, ba
+	pb.Child[bb] = a
+	a.Parent, a.PBranch = pb, bb
+}
+
+// collectNodes returns all nodes of the tree.
+func collectNodes(t *tree.Tree) []*tree.Node {
+	var out []*tree.Node
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		out = append(out, n)
+		if n.IsLeaf() {
+			return
+		}
+		for _, c := range n.Child {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// cloneTree deep-copies a tree, preserving IDs, qubits, and leaf indexing.
+func cloneTree(t *tree.Tree) *tree.Tree {
+	c := &tree.Tree{N: t.N, Leaves: make([]*tree.Node, len(t.Leaves))}
+	var walk func(n *tree.Node) *tree.Node
+	walk = func(n *tree.Node) *tree.Node {
+		nn := &tree.Node{ID: n.ID, Qubit: n.Qubit, PBranch: n.PBranch}
+		if n.IsLeaf() {
+			c.Leaves[n.ID] = nn
+			return nn
+		}
+		for i, ch := range n.Child {
+			cc := walk(ch)
+			nn.Child[i] = cc
+			cc.Parent = nn
+		}
+		return nn
+	}
+	c.Root = walk(t.Root)
+	return c
+}

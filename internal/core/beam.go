@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/fermion"
+	"repro/internal/mapping"
+	"repro/internal/tree"
+)
+
+// BuildBeam generalizes the optimized HATT construction from greedy
+// (beam width 1, equivalent to Build) to beam search: at every step the
+// `width` best partial trees by accumulated settled weight are kept, each
+// expanded through the same vacuum-preserving candidate enumeration as
+// Algorithm 2. This explores the future-work axis the paper leaves open —
+// trading construction time (×width) for mapping quality — while keeping
+// vacuum-state preservation. Ties collapse deterministically.
+func BuildBeam(mh *fermion.MajoranaHamiltonian, width int) *Result {
+	if width < 1 {
+		width = 1
+	}
+	p := newProblem(mh)
+	n := p.n
+	beams := []*beamState{newBeamState(p)}
+	for i := 0; i < n; i++ {
+		type cand struct {
+			parent     *beamState
+			ox, oy, oz int
+			acc        int
+		}
+		var cands []cand
+		for _, st := range beams {
+			for _, ox := range st.u {
+				x := st.mdown[ox]
+				if x%2 == 1 || x == 2*n {
+					continue
+				}
+				oy := st.mup[x+1]
+				if oy == ox {
+					continue
+				}
+				for _, oz := range st.u {
+					if oz == ox || oz == oy {
+						continue
+					}
+					w := settledWeight(st.bits[ox], st.bits[oy], st.bits[oz])
+					cands = append(cands, cand{st, ox, oy, oz, st.acc + w})
+				}
+			}
+		}
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].acc < cands[b].acc })
+		if len(cands) > width {
+			cands = cands[:width]
+		}
+		next := make([]*beamState, 0, len(cands))
+		for _, c := range cands {
+			child := c.parent.clone()
+			child.merge(p, i, c.ox, c.oy, c.oz)
+			next = append(next, child)
+		}
+		beams = next
+	}
+	best := beams[0]
+	for _, st := range beams[1:] {
+		if st.acc < best.acc {
+			best = st
+		}
+	}
+	// Beam search can prune the greedy path (it keeps the global top-k by
+	// accumulated weight, which need not contain greedy's trajectory), so
+	// keep the greedy result as an incumbent: BuildBeam never returns a
+	// worse mapping than Build.
+	if width > 1 {
+		if greedy := Build(mh); greedy.PredictedWeight < best.acc {
+			greedy.Mapping.Name = "HATT-beam"
+			return greedy
+		}
+	}
+	t := best.buildTree(p)
+	return &Result{
+		Mapping:         mapping.FromTreeByLeafID("HATT-beam", t),
+		Tree:            t,
+		PredictedWeight: best.acc,
+	}
+}
+
+// beamState is an immutable-by-convention partial construction: cloned
+// before every merge.
+type beamState struct {
+	bits   map[int]termBits
+	u      []int
+	mdown  map[int]int
+	mup    map[int]int
+	merges [][3]int
+	acc    int
+}
+
+func newBeamState(p *problem) *beamState {
+	st := &beamState{
+		bits:  make(map[int]termBits, 2*p.n+1),
+		u:     make([]int, 2*p.n+1),
+		mdown: make(map[int]int, 3*p.n+1),
+		mup:   make(map[int]int, 2*p.n+1),
+	}
+	for id := 0; id <= 2*p.n; id++ {
+		st.bits[id] = p.leafBits[id]
+		st.u[id] = id
+		st.mdown[id] = id
+		st.mup[id] = id
+	}
+	return st
+}
+
+func (st *beamState) clone() *beamState {
+	c := &beamState{
+		bits:   make(map[int]termBits, len(st.bits)),
+		u:      append([]int{}, st.u...),
+		mdown:  make(map[int]int, len(st.mdown)),
+		mup:    make(map[int]int, len(st.mup)),
+		merges: append([][3]int{}, st.merges...),
+		acc:    st.acc,
+	}
+	for k, v := range st.bits {
+		c.bits[k] = v // shared until replaced (bitsets are never mutated)
+	}
+	for k, v := range st.mdown {
+		c.mdown[k] = v
+	}
+	for k, v := range st.mup {
+		c.mup[k] = v
+	}
+	return c
+}
+
+func (st *beamState) merge(p *problem, step, ox, oy, oz int) {
+	pid := 2*p.n + 1 + step
+	st.acc += settledWeight(st.bits[ox], st.bits[oy], st.bits[oz])
+	pb := newTermBits(p.words)
+	for w := range pb {
+		pb[w] = st.bits[ox][w] ^ st.bits[oy][w] ^ st.bits[oz][w]
+	}
+	st.bits[pid] = pb
+	delete(st.bits, ox)
+	delete(st.bits, oy)
+	delete(st.bits, oz)
+	nu := st.u[:0:0]
+	for _, v := range st.u {
+		if v != ox && v != oy && v != oz {
+			nu = append(nu, v)
+		}
+	}
+	st.u = append(nu, pid)
+	zd := st.mdown[oz]
+	st.mdown[pid] = zd
+	st.mup[zd] = pid
+	st.merges = append(st.merges, [3]int{ox, oy, oz})
+}
+
+func (st *beamState) buildTree(p *problem) *tree.Tree {
+	n := p.n
+	nodes := make([]*tree.Node, 3*n+1)
+	for id := 0; id <= 2*n; id++ {
+		nodes[id] = &tree.Node{ID: id}
+	}
+	for i, m := range st.merges {
+		pid := 2*n + 1 + i
+		parent := &tree.Node{ID: pid, Qubit: i}
+		parent.SetChildren(nodes[m[0]], nodes[m[1]], nodes[m[2]])
+		nodes[pid] = parent
+	}
+	t := &tree.Tree{N: n, Root: nodes[3*n], Leaves: make([]*tree.Node, 2*n+1)}
+	copy(t.Leaves, nodes[:2*n+1])
+	return t
+}

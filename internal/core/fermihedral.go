@@ -1,0 +1,156 @@
+package core
+
+import (
+	"repro/internal/fermion"
+	"repro/internal/mapping"
+)
+
+// ExhaustiveResult reports the outcome of the Fermihedral-substitute
+// exhaustive search.
+type ExhaustiveResult struct {
+	Result
+	// Optimal is true when the search space was fully explored (possibly
+	// with branch-and-bound pruning, which never discards an optimum);
+	// false when the visit budget was exhausted first, in which case the
+	// result is the best mapping found so far — the analogue of
+	// Fermihedral's '*' approximately-optimal solutions.
+	Optimal bool
+	Visited int64
+}
+
+// Exhaustive searches the entire ternary-tree fermion-to-qubit mapping
+// space for the Hamiltonian-minimal Pauli weight, standing in for the
+// Fermihedral SAT baseline. It explores all sequences of 3-subset merges
+// with branch-and-bound on the accumulated settled weight, plus sibling
+// deduplication (candidates whose term bitsets coincide are
+// interchangeable). Complexity is super-exponential in N — by design: the
+// scalability wall is part of what Figure 12 reproduces. maxVisits bounds
+// the number of explored merge states (≤ 0 means unlimited).
+func Exhaustive(mh *fermion.MajoranaHamiltonian, maxVisits int64) *ExhaustiveResult {
+	p := newProblem(mh)
+	n := p.n
+	s := &exhaustiveState{
+		p:         p,
+		bits:      make([]termBits, 3*n+1),
+		u:         make([]int, 2*n+1),
+		merges:    make([][3]int, n),
+		best:      int(^uint(0) >> 1),
+		maxVisits: maxVisits,
+	}
+	for id := 0; id <= 2*n; id++ {
+		s.bits[id] = p.leafBits[id].clone()
+		s.u[id] = id
+	}
+	// Seed with the greedy Algorithm-1 solution: guarantees a result even
+	// under a visit budget and tightens the branch-and-bound from the start.
+	seed := buildUnoptBuilder(newProblem(mh))
+	s.best = seed.predicted + 1 // strict bound: keep seed unless beaten
+	s.bestMerges = make([][3]int, len(seed.log))
+	copy(s.bestMerges, seed.log)
+	s.dfs(0, 0)
+	s.complete = !s.exhausted
+
+	// Rebuild the best merge sequence into a tree via the shared builder.
+	b := newBuilder(p)
+	for i, m := range s.bestMerges {
+		b.merge(i, m[0], m[1], m[2])
+	}
+	t := b.finish()
+	name := "FH"
+	if !s.complete {
+		name = "FH*"
+	}
+	return &ExhaustiveResult{
+		Result: Result{
+			Mapping:         mapping.FromTreeByLeafID(name, t),
+			Tree:            t,
+			PredictedWeight: b.predicted,
+		},
+		Optimal: s.complete,
+		Visited: s.visited,
+	}
+}
+
+type exhaustiveState struct {
+	p          *problem
+	bits       []termBits
+	u          []int
+	merges     [][3]int
+	best       int
+	bestMerges [][3]int
+	visited    int64
+	maxVisits  int64
+	complete   bool
+	exhausted  bool
+}
+
+func (s *exhaustiveState) dfs(step, acc int) {
+	if s.exhausted {
+		return
+	}
+	s.visited++
+	if s.maxVisits > 0 && s.visited > s.maxVisits {
+		s.exhausted = true
+		return
+	}
+	n := s.p.n
+	if step == n {
+		if acc < s.best {
+			s.best = acc
+			s.bestMerges = make([][3]int, n)
+			copy(s.bestMerges, s.merges)
+		}
+		return
+	}
+	u := s.u
+	pid := 2*n + 1 + step
+	for ai := 0; ai < len(u); ai++ {
+		if ai > 0 && bitsEqual(s.bits[u[ai]], s.bits[u[ai-1]]) {
+			continue // interchangeable with the previous first pick
+		}
+		for bi := ai + 1; bi < len(u); bi++ {
+			if bi > ai+1 && bitsEqual(s.bits[u[bi]], s.bits[u[bi-1]]) {
+				continue
+			}
+			for ci := bi + 1; ci < len(u); ci++ {
+				if ci > bi+1 && bitsEqual(s.bits[u[ci]], s.bits[u[ci-1]]) {
+					continue
+				}
+				ox, oy, oz := u[ai], u[bi], u[ci]
+				w := settledWeight(s.bits[ox], s.bits[oy], s.bits[oz])
+				if acc+w >= s.best {
+					continue // bound: settled weight only grows
+				}
+				// Apply merge.
+				pb := newTermBits(s.p.words)
+				for k := range pb {
+					pb[k] = s.bits[ox][k] ^ s.bits[oy][k] ^ s.bits[oz][k]
+				}
+				s.bits[pid] = pb
+				s.merges[step] = [3]int{ox, oy, oz}
+				newU := make([]int, 0, len(u)-2)
+				for _, v := range u {
+					if v != ox && v != oy && v != oz {
+						newU = append(newU, v)
+					}
+				}
+				newU = append(newU, pid)
+				s.u = newU
+				s.dfs(step+1, acc+w)
+				s.u = u
+				if s.exhausted {
+					return
+				}
+			}
+		}
+	}
+}
+
+func bitsEqual(a, b termBits) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"repro/internal/fermion"
+	"repro/internal/mapping"
+	"repro/internal/tree"
+)
+
+// Result bundles a constructed mapping with its tree and the Pauli weight
+// the construction predicted (which equals the weight of the mapped qubit
+// Hamiltonian).
+type Result struct {
+	Mapping         *mapping.Mapping
+	Tree            *tree.Tree
+	PredictedWeight int
+}
+
+// BuildUnopt runs Algorithm 1: the plain Hamiltonian-adaptive bottom-up
+// construction. At each of the N steps it examines every 3-subset of the
+// active node set (the X/Y/Z role split does not affect the settled weight,
+// so unordered subsets suffice — the paper's permutation enumeration visits
+// the same candidates six times each) and merges the subset minimizing the
+// Pauli weight settled on that step's qubit. O(N⁴) overall. The resulting
+// mapping is *not* vacuum-state preserving in general.
+func BuildUnopt(mh *fermion.MajoranaHamiltonian) *Result {
+	b := buildUnoptBuilder(newProblem(mh))
+	t := b.finish()
+	return &Result{
+		Mapping:         mapping.FromTreeByLeafID("HATT-unopt", t),
+		Tree:            t,
+		PredictedWeight: b.predicted,
+	}
+}
+
+func buildUnoptBuilder(p *problem) *builder {
+	b := newBuilder(p)
+	n := p.n
+	for i := 0; i < n; i++ {
+		bestW := int(^uint(0) >> 1)
+		var bx, by, bz int
+		u := b.u
+		for ai := 0; ai < len(u); ai++ {
+			for bi := ai + 1; bi < len(u); bi++ {
+				for ci := bi + 1; ci < len(u); ci++ {
+					w := settledWeight(b.bits[u[ai]], b.bits[u[bi]], b.bits[u[ci]])
+					if w < bestW {
+						bestW = w
+						bx, by, bz = u[ai], u[bi], u[ci]
+					}
+				}
+			}
+		}
+		b.merge(i, bx, by, bz)
+	}
+	return b
+}
+
+// Build runs the optimized HATT construction (Algorithms 2 and 3): at each
+// step only (O_X, O_Z) pairs are enumerated, with O_Y derived from the
+// Z-descendant caches so that the X child's Z-descendant leaf 2l pairs with
+// leaf 2l+1 under the Y child. This guarantees every Majorana pair
+// (M_2l, M_2l+1) shares an (X,Y) letter pair on one qubit and acts
+// |0⟩-equivalently elsewhere — vacuum-state preservation — while keeping
+// the greedy weight minimization. O(N³) overall.
+//
+// Candidate enumeration detail: the paper iterates ordered (O_X, O_Z) pairs
+// and swaps roles when descZ(O_X) is odd; the swapped triple coincides with
+// the triple generated directly from the even-descendant partner, so this
+// implementation enumerates only nodes with even Z-descendants (≠ 2N) as
+// O_X, visiting the same candidate set once.
+func Build(mh *fermion.MajoranaHamiltonian) *Result {
+	p := newProblem(mh)
+	b := newBuilder(p)
+	n := p.n
+	for i := 0; i < n; i++ {
+		bestW := int(^uint(0) >> 1)
+		var bx, by, bz int
+		found := false
+		for _, ox := range b.u {
+			x := b.mdown[ox] // O(1) descZ (Algorithm 3)
+			if x%2 == 1 || x == 2*n {
+				// Odd descendants are covered by their even partner's
+				// iteration; leaf 2N never pairs (its string is discarded).
+				continue
+			}
+			oy := b.mup[x+1] // O(1) traverse-up (Algorithm 3)
+			if oy == ox {
+				continue // cannot happen by Lemma 1; defensive
+			}
+			for _, oz := range b.u {
+				if oz == ox || oz == oy {
+					continue
+				}
+				w := settledWeight(b.bits[ox], b.bits[oy], b.bits[oz])
+				if w < bestW {
+					bestW = w
+					bx, by, bz = ox, oy, oz
+					found = true
+				}
+			}
+		}
+		if !found {
+			panic("core: no valid vacuum-preserving selection (invariant violated)")
+		}
+		b.merge(i, bx, by, bz)
+	}
+	t := b.finish()
+	return &Result{
+		Mapping:         mapping.FromTreeByLeafID("HATT", t),
+		Tree:            t,
+		PredictedWeight: b.predicted,
+	}
+}
+
+// BuildUncached runs Algorithm 2 *without* the Algorithm 3 caches: the
+// Z-descendant and ancestor lookups walk the tree explicitly, giving the
+// O(N⁴) variant whose runtime Figure 12 compares against. The produced
+// mapping is identical to Build's.
+func BuildUncached(mh *fermion.MajoranaHamiltonian) *Result {
+	p := newProblem(mh)
+	b := newBuilder(p)
+	n := p.n
+	inU := make([]bool, 3*n+1)
+	for _, id := range b.u {
+		inU[id] = true
+	}
+	for i := 0; i < n; i++ {
+		bestW := int(^uint(0) >> 1)
+		var bx, by, bz int
+		found := false
+		for _, ox := range b.u {
+			x := b.nodes[ox].DescZ().ID // O(depth) walk down
+			if x%2 == 1 || x == 2*n {
+				continue
+			}
+			// O(depth) walk up from leaf x+1 to its ancestor in U.
+			anc := b.nodes[x+1]
+			for !inU[anc.ID] {
+				anc = anc.Parent
+			}
+			oy := anc.ID
+			if oy == ox {
+				continue
+			}
+			for _, oz := range b.u {
+				if oz == ox || oz == oy {
+					continue
+				}
+				w := settledWeight(b.bits[ox], b.bits[oy], b.bits[oz])
+				if w < bestW {
+					bestW = w
+					bx, by, bz = ox, oy, oz
+					found = true
+				}
+			}
+		}
+		if !found {
+			panic("core: no valid vacuum-preserving selection (invariant violated)")
+		}
+		inU[bx], inU[by], inU[bz] = false, false, false
+		inU[2*n+1+i] = true
+		b.merge(i, bx, by, bz)
+	}
+	t := b.finish()
+	return &Result{
+		Mapping:         mapping.FromTreeByLeafID("HATT-uncached", t),
+		Tree:            t,
+		PredictedWeight: b.predicted,
+	}
+}

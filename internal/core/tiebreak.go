@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/fermion"
+	"repro/internal/mapping"
+)
+
+// TieBreak selects the secondary objective used when several candidate
+// merges settle the same Pauli weight on the current qubit. The paper's
+// algorithm leaves ties unspecified; the default reproduces
+// first-in-enumeration-order. The alternatives are the ablation axes
+// DESIGN.md calls out.
+type TieBreak int
+
+const (
+	// TieFirst keeps the first minimal candidate in enumeration order
+	// (the behavior of Build).
+	TieFirst TieBreak = iota
+	// TieDepth prefers the merge whose new subtree is shallowest, pushing
+	// toward balanced trees (lower maximum string weight, hence shallower
+	// circuits) among equal-weight choices.
+	TieDepth
+	// TieSupport prefers the merge whose parent participates in the fewest
+	// remaining Hamiltonian terms, preserving flexibility for future
+	// cancellation.
+	TieSupport
+)
+
+// BuildOptions configures BuildWithOptions.
+type BuildOptions struct {
+	TieBreak TieBreak
+}
+
+// BuildWithOptions is Build (Algorithms 2+3) with a configurable
+// tie-breaking policy. BuildWithOptions(mh, BuildOptions{}) is equivalent
+// to Build(mh).
+func BuildWithOptions(mh *fermion.MajoranaHamiltonian, opts BuildOptions) *Result {
+	p := newProblem(mh)
+	b := newBuilder(p)
+	n := p.n
+	depth := make([]int, 3*n+1) // leaves depth 0
+	for i := 0; i < n; i++ {
+		bestW := int(^uint(0) >> 1)
+		bestTie := int(^uint(0) >> 1)
+		var bx, by, bz int
+		found := false
+		for _, ox := range b.u {
+			x := b.mdown[ox]
+			if x%2 == 1 || x == 2*n {
+				continue
+			}
+			oy := b.mup[x+1]
+			if oy == ox {
+				continue
+			}
+			for _, oz := range b.u {
+				if oz == ox || oz == oy {
+					continue
+				}
+				w := settledWeight(b.bits[ox], b.bits[oy], b.bits[oz])
+				if w > bestW {
+					continue
+				}
+				tie := 0
+				switch opts.TieBreak {
+				case TieDepth:
+					tie = 1 + max3(depth[ox], depth[oy], depth[oz])
+				case TieSupport:
+					tie = parentSupport(b.bits[ox], b.bits[oy], b.bits[oz])
+				}
+				if w < bestW || (w == bestW && tie < bestTie) {
+					bestW, bestTie = w, tie
+					bx, by, bz = ox, oy, oz
+					found = true
+				}
+			}
+		}
+		if !found {
+			panic("core: no valid vacuum-preserving selection (invariant violated)")
+		}
+		pid := 2*n + 1 + i
+		depth[pid] = 1 + max3(depth[bx], depth[by], depth[bz])
+		b.merge(i, bx, by, bz)
+	}
+	t := b.finish()
+	return &Result{
+		Mapping:         mapping.FromTreeByLeafID("HATT", t),
+		Tree:            t,
+		PredictedWeight: b.predicted,
+	}
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// parentSupport counts the terms the merged parent would still touch.
+func parentSupport(bx, by, bz termBits) int {
+	s := 0
+	for i := range bx {
+		s += bits.OnesCount64(bx[i] ^ by[i] ^ bz[i])
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+package fermion
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Canonical anticommutation relations, verified through the Majorana
+// expansion: {a_i, a_j} = 0, {a†_i, a†_j} = 0, {a_i, a†_j} = δ_ij.
+
+func antiCommutatorVanishes(n int, op1, op2 Op, wantIdentity bool) bool {
+	h := NewHamiltonian(n)
+	h.Add(1, op1, op2)
+	h.Add(1, op2, op1)
+	m := h.Majorana(1e-12)
+	if !wantIdentity {
+		return len(m.Terms) == 0
+	}
+	if len(m.Terms) != 1 || len(m.Terms[0].Indices) != 0 {
+		return false
+	}
+	return cmplx.Abs(m.Terms[0].Coeff-1) < 1e-12
+}
+
+func TestCARProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		i, j := r.Intn(n), r.Intn(n)
+		// {a_i, a_j} = 0 always (even i == j).
+		if !antiCommutatorVanishes(n, Op{i, false}, Op{j, false}, false) {
+			return false
+		}
+		// {a†_i, a†_j} = 0.
+		if !antiCommutatorVanishes(n, Op{i, true}, Op{j, true}, false) {
+			return false
+		}
+		// {a_i, a†_j} = δ_ij.
+		return antiCommutatorVanishes(n, Op{i, false}, Op{j, true}, i == j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumberOperatorIdempotentProperty(t *testing.T) {
+	// n_j² = n_j: the Majorana expansions of a†a a†a and a†a must match.
+	for n := 1; n <= 4; n++ {
+		for j := 0; j < n; j++ {
+			sq := NewHamiltonian(n)
+			sq.Add(1, Op{j, true}, Op{j, false}, Op{j, true}, Op{j, false})
+			lin := Number(n, j)
+			a, b := sq.Majorana(1e-12), lin.Majorana(1e-12)
+			if len(a.Terms) != len(b.Terms) {
+				t.Fatalf("n_%d² term count %d vs %d", j, len(a.Terms), len(b.Terms))
+			}
+			for i := range a.Terms {
+				if cmplx.Abs(a.Terms[i].Coeff-b.Terms[i].Coeff) > 1e-12 {
+					t.Fatalf("n_%d² coeff mismatch", j)
+				}
+			}
+		}
+	}
+}
+
+func TestPauliExclusionProperty(t *testing.T) {
+	// (a†_j)² = 0 for every mode.
+	for n := 1; n <= 5; n++ {
+		for j := 0; j < n; j++ {
+			h := NewHamiltonian(n)
+			h.Add(1, Op{j, true}, Op{j, true})
+			if m := h.Majorana(1e-12); len(m.Terms) != 0 {
+				t.Fatalf("(a†_%d)² ≠ 0: %s", j, m)
+			}
+		}
+	}
+}
+
+func TestQuadraticHermitianProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		h := NewHamiltonian(n)
+		for k := 0; k < 5; k++ {
+			i, j := r.Intn(n), r.Intn(n)
+			c := complex(r.NormFloat64(), r.NormFloat64())
+			if i == j {
+				c = complex(real(c), 0)
+			}
+			h.AddHermitian(c, Op{i, true}, Op{j, false})
+		}
+		return h.Majorana(1e-12).IsHermitian(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajoranaTermOrderingInvariance(t *testing.T) {
+	// Writing the same physical term with operators in different orders
+	// (with the fermionic sign) gives the same expansion.
+	a := NewHamiltonian(3)
+	a.Add(1, Op{0, true}, Op{2, false})
+	b := NewHamiltonian(3)
+	b.Add(-1, Op{2, false}, Op{0, true}) // anticommute: a†_0 a_2 = −a_2 a†_0 (distinct modes)
+	am, bm := a.Majorana(1e-12), b.Majorana(1e-12)
+	if len(am.Terms) != len(bm.Terms) {
+		t.Fatal("expansions differ in shape")
+	}
+	for i := range am.Terms {
+		if cmplx.Abs(am.Terms[i].Coeff-bm.Terms[i].Coeff) > 1e-12 {
+			t.Fatal("expansions differ in coefficients")
+		}
+	}
+}

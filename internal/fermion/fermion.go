@@ -1,0 +1,310 @@
+// Package fermion implements second-quantized fermionic operators and
+// Hamiltonians, plus their expansion into Majorana monomials (Eq. 2 of the
+// paper):
+//
+//	a†_j = (M_{2j} − i·M_{2j+1}) / 2
+//	a_j  = (M_{2j} + i·M_{2j+1}) / 2
+//
+// A fermionic Hamiltonian is a weighted sum of products of creation and
+// annihilation operators. The Majorana expansion normal-orders Majorana
+// monomials using M_i² = 1 and M_i M_j = −M_j M_i (i≠j) and collects equal
+// monomials, producing the preprocessed Hamiltonian H_Q that the HATT
+// construction (and every other mapping) consumes.
+package fermion
+
+import (
+	"fmt"
+	"math/cmplx"
+	"sort"
+	"strings"
+)
+
+// Op is a single creation (Dagger) or annihilation operator on a mode.
+type Op struct {
+	Mode   int
+	Dagger bool
+}
+
+// String renders the operator, e.g. "a†3" or "a1".
+func (o Op) String() string {
+	if o.Dagger {
+		return fmt.Sprintf("a†%d", o.Mode)
+	}
+	return fmt.Sprintf("a%d", o.Mode)
+}
+
+// Term is a weighted product of creation/annihilation operators, applied
+// right-to-left (Ops[0] is the leftmost operator, matching written order).
+type Term struct {
+	Coeff complex128
+	Ops   []Op
+}
+
+// Hamiltonian is a second-quantized fermionic Hamiltonian on Modes modes.
+type Hamiltonian struct {
+	Modes int
+	Terms []Term
+}
+
+// NewHamiltonian returns an empty Hamiltonian on n modes.
+func NewHamiltonian(n int) *Hamiltonian {
+	if n <= 0 {
+		panic("fermion: mode count must be positive")
+	}
+	return &Hamiltonian{Modes: n}
+}
+
+// Add appends the term c·ops to the Hamiltonian. Ops are given in written
+// (left-to-right) order. Panics if a mode is out of range.
+func (h *Hamiltonian) Add(c complex128, ops ...Op) {
+	for _, o := range ops {
+		if o.Mode < 0 || o.Mode >= h.Modes {
+			panic(fmt.Sprintf("fermion: mode %d out of range [0,%d)", o.Mode, h.Modes))
+		}
+	}
+	cp := make([]Op, len(ops))
+	copy(cp, ops)
+	h.Terms = append(h.Terms, Term{Coeff: c, Ops: cp})
+}
+
+// AddHermitian adds c·ops plus its Hermitian conjugate conj(c)·ops†
+// (operators reversed, daggers flipped). If the term is its own conjugate
+// — same operator sequence after conjugation and real coefficient — it is
+// added only once.
+func (h *Hamiltonian) AddHermitian(c complex128, ops ...Op) {
+	h.Add(c, ops...)
+	conj := make([]Op, len(ops))
+	for i, o := range ops {
+		conj[len(ops)-1-i] = Op{Mode: o.Mode, Dagger: !o.Dagger}
+	}
+	if opsEqual(ops, conj) && imag(c) == 0 {
+		return
+	}
+	h.Add(cmplx.Conj(c), conj...)
+}
+
+func opsEqual(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumTerms returns the number of stored second-quantized terms.
+func (h *Hamiltonian) NumTerms() int { return len(h.Terms) }
+
+// String renders the Hamiltonian in written form.
+func (h *Hamiltonian) String() string {
+	parts := make([]string, 0, len(h.Terms))
+	for _, t := range h.Terms {
+		var b strings.Builder
+		fmt.Fprintf(&b, "(%.4g%+.4gi)", real(t.Coeff), imag(t.Coeff))
+		for _, o := range t.Ops {
+			b.WriteString(" ")
+			b.WriteString(o.String())
+		}
+		parts = append(parts, b.String())
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// MajoranaTerm is a weighted normal-ordered Majorana monomial: Coeff times
+// the ordered product Π M_i over the strictly increasing Indices.
+type MajoranaTerm struct {
+	Coeff   complex128
+	Indices []int // strictly increasing; empty means the identity
+}
+
+// MajoranaHamiltonian is the Majorana-monomial form of a fermionic
+// Hamiltonian on 2·Modes Majorana operators.
+type MajoranaHamiltonian struct {
+	Modes int
+	Terms []MajoranaTerm
+}
+
+// NumMajoranas returns 2·Modes.
+func (m *MajoranaHamiltonian) NumMajoranas() int { return 2 * m.Modes }
+
+// monomial is a mutable Majorana monomial during expansion.
+type monomial struct {
+	coeff   complex128
+	indices []int // arbitrary order until normalized
+}
+
+// normalize sorts indices with anticommutation sign tracking and cancels
+// adjacent equal pairs (M² = 1). Returns the strictly-increasing index set
+// and the signed coefficient.
+func (m monomial) normalize() MajoranaTerm {
+	idx := make([]int, len(m.indices))
+	copy(idx, m.indices)
+	sign := 1
+	// Insertion sort, counting inversions (each adjacent swap flips sign).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j-1] > idx[j]; j-- {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+			sign = -sign
+		}
+	}
+	// Cancel equal adjacent pairs: M_i·M_i = 1.
+	out := idx[:0]
+	for i := 0; i < len(idx); {
+		if i+1 < len(idx) && idx[i] == idx[i+1] {
+			i += 2
+			continue
+		}
+		out = append(out, idx[i])
+		i++
+	}
+	c := m.coeff
+	if sign < 0 {
+		c = -c
+	}
+	res := make([]int, len(out))
+	copy(res, out)
+	return MajoranaTerm{Coeff: c, Indices: res}
+}
+
+func indexKey(idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		fmt.Fprintf(&b, "%d,", i)
+	}
+	return b.String()
+}
+
+// Majorana expands the Hamiltonian into normal-ordered Majorana monomials,
+// merging equal monomials and dropping those whose coefficients cancel
+// below eps. This is the "preprocess" step of Algorithm 1.
+func (h *Hamiltonian) Majorana(eps float64) *MajoranaHamiltonian {
+	acc := make(map[string]MajoranaTerm)
+	for _, t := range h.Terms {
+		// Expand each op into its two Majorana components:
+		// a†_j = (M_{2j} − i·M_{2j+1})/2 ; a_j = (M_{2j} + i·M_{2j+1})/2.
+		monos := []monomial{{coeff: t.Coeff}}
+		for _, o := range t.Ops {
+			next := make([]monomial, 0, 2*len(monos))
+			sgn := complex(0, 0.5) // +i/2 for a
+			if o.Dagger {
+				sgn = complex(0, -0.5) // −i/2 for a†
+			}
+			for _, m := range monos {
+				m1 := monomial{coeff: m.coeff * 0.5, indices: appendCopy(m.indices, 2*o.Mode)}
+				m2 := monomial{coeff: m.coeff * sgn, indices: appendCopy(m.indices, 2*o.Mode+1)}
+				next = append(next, m1, m2)
+			}
+			monos = next
+		}
+		for _, m := range monos {
+			nt := m.normalize()
+			k := indexKey(nt.Indices)
+			prev, ok := acc[k]
+			if ok {
+				nt.Coeff += prev.Coeff
+			}
+			acc[k] = nt
+		}
+	}
+	out := &MajoranaHamiltonian{Modes: h.Modes}
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t := acc[k]
+		if cmplx.Abs(t.Coeff) <= eps {
+			continue
+		}
+		out.Terms = append(out.Terms, t)
+	}
+	return out
+}
+
+func appendCopy(s []int, v int) []int {
+	r := make([]int, len(s), len(s)+1)
+	copy(r, s)
+	return append(r, v)
+}
+
+// IsHermitian reports whether the Majorana Hamiltonian is Hermitian within
+// eps: a monomial of k Majoranas conjugates to itself times (−1)^{k(k−1)/2},
+// so Hermiticity requires Coeff·(−1)^{k(k−1)/2} to equal conj(Coeff).
+func (m *MajoranaHamiltonian) IsHermitian(eps float64) bool {
+	for _, t := range m.Terms {
+		k := len(t.Indices)
+		sign := complex128(1)
+		if (k*(k-1)/2)%2 == 1 {
+			sign = -1
+		}
+		if cmplx.Abs(t.Coeff*sign-cmplx.Conj(t.Coeff)) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the Majorana Hamiltonian.
+func (m *MajoranaHamiltonian) String() string {
+	parts := make([]string, 0, len(m.Terms))
+	for _, t := range m.Terms {
+		var b strings.Builder
+		fmt.Fprintf(&b, "(%.4g%+.4gi)", real(t.Coeff), imag(t.Coeff))
+		if len(t.Indices) == 0 {
+			b.WriteString("·1")
+		}
+		for _, i := range t.Indices {
+			fmt.Fprintf(&b, "·M%d", i)
+		}
+		parts = append(parts, b.String())
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// IndexSets returns the non-identity monomial index sets, used to seed the
+// HATT weight oracle. Identity monomials (constants) are skipped: they
+// contribute no Pauli weight.
+func (m *MajoranaHamiltonian) IndexSets() [][]int {
+	var out [][]int
+	for _, t := range m.Terms {
+		if len(t.Indices) == 0 {
+			continue
+		}
+		out = append(out, t.Indices)
+	}
+	return out
+}
+
+// A convenience constructor set for tests and examples.
+
+// Number returns the number operator a†_j a_j as a Hamiltonian fragment.
+func Number(n, j int) *Hamiltonian {
+	h := NewHamiltonian(n)
+	h.Add(1, Op{j, true}, Op{j, false})
+	return h
+}
+
+// Hop returns the Hermitian hopping term t·(a†_i a_j + a†_j a_i).
+func Hop(n int, t float64, i, j int) *Hamiltonian {
+	h := NewHamiltonian(n)
+	h.AddHermitian(complex(t, 0), Op{i, true}, Op{j, false})
+	return h
+}
+
+// Merge appends all terms of g into h (same mode count required).
+func (h *Hamiltonian) Merge(g *Hamiltonian) {
+	if g.Modes != h.Modes {
+		panic("fermion: Merge mode mismatch")
+	}
+	h.Terms = append(h.Terms, g.Terms...)
+}

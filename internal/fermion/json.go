@@ -1,0 +1,104 @@
+package fermion
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonHamiltonian is the interchange schema:
+//
+//	{
+//	  "modes": 4,
+//	  "terms": [
+//	    {"coeff": [1.5, 0.0], "ops": [{"mode": 0, "dagger": true},
+//	                                  {"mode": 1, "dagger": false}]}
+//	  ]
+//	}
+type jsonHamiltonian struct {
+	Modes int        `json:"modes"`
+	Terms []jsonTerm `json:"terms"`
+}
+
+type jsonTerm struct {
+	Coeff [2]float64 `json:"coeff"`
+	Ops   []jsonOp   `json:"ops"`
+}
+
+type jsonOp struct {
+	Mode   int  `json:"mode"`
+	Dagger bool `json:"dagger"`
+}
+
+// MarshalJSON encodes the Hamiltonian in the interchange schema.
+func (h *Hamiltonian) MarshalJSON() ([]byte, error) {
+	out := jsonHamiltonian{Modes: h.Modes}
+	for _, t := range h.Terms {
+		jt := jsonTerm{Coeff: [2]float64{real(t.Coeff), imag(t.Coeff)}}
+		for _, o := range t.Ops {
+			jt.Ops = append(jt.Ops, jsonOp{Mode: o.Mode, Dagger: o.Dagger})
+		}
+		out.Terms = append(out.Terms, jt)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the interchange schema with validation.
+func (h *Hamiltonian) UnmarshalJSON(data []byte) error {
+	var in jsonHamiltonian
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Modes <= 0 {
+		return fmt.Errorf("fermion: invalid mode count %d", in.Modes)
+	}
+	dec := NewHamiltonian(in.Modes)
+	for ti, t := range in.Terms {
+		ops := make([]Op, len(t.Ops))
+		for i, o := range t.Ops {
+			if o.Mode < 0 || o.Mode >= in.Modes {
+				return fmt.Errorf("fermion: term %d: mode %d out of range [0,%d)", ti, o.Mode, in.Modes)
+			}
+			ops[i] = Op{Mode: o.Mode, Dagger: o.Dagger}
+		}
+		dec.Add(complex(t.Coeff[0], t.Coeff[1]), ops...)
+	}
+	*h = *dec
+	return nil
+}
+
+// WriteJSON writes the Hamiltonian as indented JSON.
+func (h *Hamiltonian) WriteJSON(w io.Writer) error {
+	b, err := h.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	buf, err = indentJSON(b)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+func indentJSON(b []byte) ([]byte, error) {
+	var v interface{}
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(v, "", "  ")
+}
+
+// ReadJSON parses a Hamiltonian from a reader.
+func ReadJSON(r io.Reader) (*Hamiltonian, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hamiltonian{}
+	if err := h.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

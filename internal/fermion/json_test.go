@@ -1,0 +1,81 @@
+package fermion
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	h := NewHamiltonian(3)
+	h.Add(complex(1.5, -0.5), Op{0, true}, Op{1, false})
+	h.AddHermitian(0.7, Op{2, true}, Op{0, false})
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hamiltonian
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Modes != h.Modes || back.NumTerms() != h.NumTerms() {
+		t.Fatalf("round trip shape mismatch: %d/%d vs %d/%d",
+			back.Modes, back.NumTerms(), h.Modes, h.NumTerms())
+	}
+	for i := range h.Terms {
+		if back.Terms[i].Coeff != h.Terms[i].Coeff {
+			t.Fatalf("term %d coeff mismatch", i)
+		}
+		if !opsEqual(back.Terms[i].Ops, h.Terms[i].Ops) {
+			t.Fatalf("term %d ops mismatch", i)
+		}
+	}
+	// Majorana expansions must agree exactly.
+	a, b := h.Majorana(1e-14), back.Majorana(1e-14)
+	if len(a.Terms) != len(b.Terms) {
+		t.Fatal("Majorana expansions differ")
+	}
+}
+
+func TestJSONReadWrite(t *testing.T) {
+	h := Number(2, 1)
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"modes\"") {
+		t.Errorf("missing modes field:\n%s", buf.String())
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Modes != 2 || back.NumTerms() != 1 {
+		t.Fatalf("read back %d modes %d terms", back.Modes, back.NumTerms())
+	}
+}
+
+func TestJSONValidation(t *testing.T) {
+	cases := []string{
+		`{"modes": 0, "terms": []}`,
+		`{"modes": 2, "terms": [{"coeff": [1,0], "ops": [{"mode": 5, "dagger": true}]}]}`,
+		`{"modes": 2, "terms": [{`,
+	}
+	for _, c := range cases {
+		var h Hamiltonian
+		if err := json.Unmarshal([]byte(c), &h); err == nil {
+			t.Errorf("accepted invalid input %q", c)
+		}
+	}
+}
+
+func TestJSONEmptyTermList(t *testing.T) {
+	var h Hamiltonian
+	if err := json.Unmarshal([]byte(`{"modes": 3, "terms": []}`), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Modes != 3 || h.NumTerms() != 0 {
+		t.Fatalf("empty Hamiltonian wrong: %d/%d", h.Modes, h.NumTerms())
+	}
+}

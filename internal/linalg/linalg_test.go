@@ -1,0 +1,139 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+)
+
+func TestMatrixSingleQubitPaulis(t *testing.T) {
+	// Z matrix: diag(1,-1) in our ordering (|0⟩ index 0).
+	h := pauli.NewHamiltonian(1)
+	h.Add(1, pauli.MustParse("Z"))
+	m := Matrix(h)
+	if m.At(0, 0) != 1 || m.At(1, 1) != -1 || m.At(0, 1) != 0 {
+		t.Errorf("Z matrix wrong: %v", m.Data)
+	}
+	// X matrix: off-diagonal ones.
+	h2 := pauli.NewHamiltonian(1)
+	h2.Add(1, pauli.MustParse("X"))
+	m2 := Matrix(h2)
+	if m2.At(0, 1) != 1 || m2.At(1, 0) != 1 || m2.At(0, 0) != 0 {
+		t.Errorf("X matrix wrong: %v", m2.Data)
+	}
+	// Y matrix: [[0,-i],[i,0]].
+	h3 := pauli.NewHamiltonian(1)
+	h3.Add(1, pauli.MustParse("Y"))
+	m3 := Matrix(h3)
+	if m3.At(1, 0) != complex(0, 1) || m3.At(0, 1) != complex(0, -1) {
+		t.Errorf("Y matrix wrong: %v", m3.Data)
+	}
+}
+
+func TestEigenvaluesPauliZ(t *testing.T) {
+	h := pauli.NewHamiltonian(1)
+	h.Add(1, pauli.MustParse("Z"))
+	ev := EigenvaluesHermitian(Matrix(h))
+	if math.Abs(ev[0]+1) > 1e-9 || math.Abs(ev[1]-1) > 1e-9 {
+		t.Errorf("Z eigenvalues = %v, want [-1, 1]", ev)
+	}
+}
+
+func TestEigenvaluesTransverseField(t *testing.T) {
+	// H = X has eigenvalues ±1; H = X + Z has ±√2.
+	h := pauli.NewHamiltonian(1)
+	h.Add(1, pauli.MustParse("X"))
+	h.Add(1, pauli.MustParse("Z"))
+	ev := EigenvaluesHermitian(Matrix(h))
+	r2 := math.Sqrt2
+	if math.Abs(ev[0]+r2) > 1e-9 || math.Abs(ev[1]-r2) > 1e-9 {
+		t.Errorf("X+Z eigenvalues = %v, want ±√2", ev)
+	}
+}
+
+func TestEigenvaluesYTerm(t *testing.T) {
+	// Complex entries: H = Y ⇒ ±1.
+	h := pauli.NewHamiltonian(1)
+	h.Add(1, pauli.MustParse("Y"))
+	ev := EigenvaluesHermitian(Matrix(h))
+	if math.Abs(ev[0]+1) > 1e-9 || math.Abs(ev[1]-1) > 1e-9 {
+		t.Errorf("Y eigenvalues = %v, want ±1", ev)
+	}
+}
+
+func TestEigenvaluesTwoQubitHeisenberg(t *testing.T) {
+	// H = XX + YY + ZZ: eigenvalues {1,1,1,-3} (singlet-triplet).
+	h := pauli.NewHamiltonian(2)
+	h.Add(1, pauli.MustParse("XX"))
+	h.Add(1, pauli.MustParse("YY"))
+	h.Add(1, pauli.MustParse("ZZ"))
+	ev := EigenvaluesHermitian(Matrix(h))
+	want := []float64{-3, 1, 1, 1}
+	if !SpectraClose(ev, want, 1e-8) {
+		t.Errorf("Heisenberg eigenvalues = %v, want %v", ev, want)
+	}
+}
+
+func TestGroundEnergyTrace(t *testing.T) {
+	// Sum of eigenvalues = 2^n · identity coefficient.
+	r := rand.New(rand.NewSource(9))
+	h := pauli.NewHamiltonian(3)
+	letters := []pauli.Letter{pauli.I, pauli.X, pauli.Y, pauli.Z}
+	for i := 0; i < 10; i++ {
+		s := pauli.Identity(3)
+		for q := 0; q < 3; q++ {
+			s.SetLetter(q, letters[r.Intn(4)])
+		}
+		h.Add(complex(r.NormFloat64(), 0), s)
+	}
+	ev := EigenvaluesHermitian(Matrix(h))
+	sum := 0.0
+	for _, e := range ev {
+		sum += e
+	}
+	wantTrace := real(h.Trace()) * 8
+	if math.Abs(sum-wantTrace) > 1e-7 {
+		t.Errorf("eigenvalue sum %v != trace %v", sum, wantTrace)
+	}
+	if GroundEnergy(h) != ev[0] {
+		t.Error("GroundEnergy disagrees with min eigenvalue")
+	}
+}
+
+func TestMatrixHermitian(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	h := pauli.NewHamiltonian(3)
+	letters := []pauli.Letter{pauli.I, pauli.X, pauli.Y, pauli.Z}
+	for i := 0; i < 12; i++ {
+		s := pauli.Identity(3)
+		for q := 0; q < 3; q++ {
+			s.SetLetter(q, letters[r.Intn(4)])
+		}
+		h.Add(complex(r.NormFloat64(), 0), s)
+	}
+	m := Matrix(h)
+	for a := 0; a < m.N; a++ {
+		for b := 0; b < m.N; b++ {
+			diff := m.At(a, b) - complexConj(m.At(b, a))
+			if math.Abs(real(diff)) > 1e-12 || math.Abs(imag(diff)) > 1e-12 {
+				t.Fatalf("matrix not Hermitian at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func complexConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+func TestSpectraClose(t *testing.T) {
+	if !SpectraClose([]float64{1, 2}, []float64{1, 2 + 1e-12}, 1e-9) {
+		t.Error("close spectra reported different")
+	}
+	if SpectraClose([]float64{1, 2}, []float64{1, 3}, 1e-9) {
+		t.Error("different spectra reported close")
+	}
+	if SpectraClose([]float64{1}, []float64{1, 1}, 1e-9) {
+		t.Error("length mismatch reported close")
+	}
+}

@@ -1,0 +1,12 @@
+package mapping
+
+import "repro/internal/tree"
+
+// BalancedTernaryTree returns the balanced ternary tree mapping of Jiang
+// et al. on n modes, with the canonical vacuum-preserving Majorana
+// assignment (strings are re-assigned to Majorana operators by pairing, as
+// the paper notes the vanilla BTT does).
+func BalancedTernaryTree(n int) *Mapping {
+	m := FromTreePaired("BTT", tree.Balanced(n))
+	return m
+}

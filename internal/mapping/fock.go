@@ -1,0 +1,89 @@
+package mapping
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/pauli"
+)
+
+// FockMask returns the computational-basis state realizing the Fock state
+// with the given occupied modes: |mask⟩ ∝ Π_j a†_j |0…0⟩. For
+// vacuum-preserving mappings every Fock basis state maps to a single
+// computational basis state, so state preparation is a layer of X gates on
+// the mask bits. Returns an error if the mapping scatters the Fock state
+// over several basis states (possible for non-vacuum-preserving mappings)
+// or annihilates it (repeated modes).
+func (m *Mapping) FockMask(occupied []int) (uint64, error) {
+	if m.Qubits() > 64 {
+		return 0, fmt.Errorf("mapping %s: FockMask supports ≤ 64 qubits", m.Name)
+	}
+	seen := make(map[int]bool)
+	for _, j := range occupied {
+		if j < 0 || j >= m.Modes {
+			return 0, fmt.Errorf("mapping %s: mode %d out of range", m.Name, j)
+		}
+		if seen[j] {
+			return 0, fmt.Errorf("mapping %s: mode %d occupied twice", m.Name, j)
+		}
+		seen[j] = true
+	}
+	var mask uint64
+	for _, j := range occupied {
+		// a†_j = (S_2j − i·S_2j+1)/2. Acting on a basis state, both
+		// strings flip a fixed set of qubits; for the state to stay a
+		// basis state they must flip the same set with amplitudes that
+		// add rather than cancel.
+		a1, f1 := stringActionOnBasis(m.Majoranas[2*j], mask)
+		a2, f2 := stringActionOnBasis(m.Majoranas[2*j+1], mask)
+		if f1 != f2 {
+			return 0, fmt.Errorf("mapping %s: a†_%d scatters the Fock state", m.Name, j)
+		}
+		amp := (a1 - complex(0, 1)*a2) / 2
+		if cmplx.Abs(amp) < 1e-12 {
+			return 0, fmt.Errorf("mapping %s: a†_%d annihilates the Fock state", m.Name, j)
+		}
+		if d := cmplx.Abs(amp) - 1; d > 1e-9 || d < -1e-9 {
+			return 0, fmt.Errorf("mapping %s: a†_%d non-unit amplitude %v", m.Name, j, amp)
+		}
+		mask = f1
+	}
+	return mask, nil
+}
+
+// stringActionOnBasis computes s|b⟩ = amp·|mask⟩.
+func stringActionOnBasis(s pauli.String, b uint64) (complex128, uint64) {
+	amp := s.LetterCoeff()
+	mask := b
+	for _, q := range s.Support() {
+		bit := b >> uint(q) & 1
+		switch s.Letter(q) {
+		case pauli.X:
+			mask ^= 1 << uint(q)
+		case pauli.Y:
+			mask ^= 1 << uint(q)
+			if bit == 0 {
+				amp *= complex(0, 1)
+			} else {
+				amp *= complex(0, -1)
+			}
+		case pauli.Z:
+			if bit == 1 {
+				amp = -amp
+			}
+		}
+	}
+	return amp, mask
+}
+
+// OccupationOperator returns the mapped number operator
+// n_j = a†_j a_j = (1 + i·S_2j·S_2j+1)/2 as a qubit Hamiltonian, useful
+// for reading occupations out of simulated states without re-expanding the
+// fermionic form.
+func (m *Mapping) OccupationOperator(j int) *pauli.Hamiltonian {
+	h := pauli.NewHamiltonian(m.Qubits())
+	h.Add(0.5, pauli.Identity(m.Qubits()))
+	prod := m.Majoranas[2*j].Mul(m.Majoranas[2*j+1])
+	h.Add(complex(0, 0.5), prod)
+	return h
+}

@@ -1,0 +1,97 @@
+package mapping
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/fermion"
+	"repro/internal/pauli"
+)
+
+func TestFockMaskJW(t *testing.T) {
+	// Jordan–Wigner: occupation of mode j is qubit j directly.
+	m := JordanWigner(4)
+	cases := []struct {
+		occ  []int
+		want uint64
+	}{
+		{nil, 0},
+		{[]int{0}, 1},
+		{[]int{1, 3}, 0b1010},
+		{[]int{0, 1, 2, 3}, 0b1111},
+	}
+	for _, c := range cases {
+		got, err := m.FockMask(c.occ)
+		if err != nil {
+			t.Fatalf("occ %v: %v", c.occ, err)
+		}
+		if got != c.want {
+			t.Errorf("occ %v: mask %04b, want %04b", c.occ, got, c.want)
+		}
+	}
+}
+
+func TestFockMaskErrors(t *testing.T) {
+	m := JordanWigner(3)
+	if _, err := m.FockMask([]int{1, 1}); err == nil {
+		t.Error("double occupation accepted")
+	}
+	if _, err := m.FockMask([]int{7}); err == nil {
+		t.Error("out-of-range mode accepted")
+	}
+}
+
+func TestFockMaskConsistentWithNumberOperators(t *testing.T) {
+	// For every vacuum-preserving mapping: the masked basis state must
+	// have occupation expectation 1 on occupied modes and 0 elsewhere.
+	for _, m := range []*Mapping{JordanWigner(4), BravyiKitaev(4), Parity(4), BalancedTernaryTree(4)} {
+		occ := []int{1, 2}
+		mask, err := m.FockMask(occ)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for j := 0; j < 4; j++ {
+			nOp := m.ApplyFermionic(fermion.Number(4, j))
+			e := real(nOp.ExpectationOnBasis(mask))
+			want := 0.0
+			if j == 1 || j == 2 {
+				want = 1.0
+			}
+			if diff := e - want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s: ⟨n_%d⟩ on mask %04b = %v, want %v", m.Name, j, mask, e, want)
+			}
+		}
+	}
+}
+
+func TestOccupationOperatorMatchesFermionic(t *testing.T) {
+	for _, m := range []*Mapping{JordanWigner(3), BravyiKitaev(3)} {
+		for j := 0; j < 3; j++ {
+			direct := m.OccupationOperator(j)
+			viaFermion := m.ApplyFermionic(fermion.Number(3, j))
+			// The two must be identical term-by-term.
+			for _, term := range viaFermion.Terms() {
+				if c := direct.Coeff(term.S) - term.Coeff; cmplx.Abs(c) > 1e-10 {
+					t.Errorf("%s n_%d: coeff mismatch on %s", m.Name, j, term.S)
+				}
+			}
+			if direct.Len() != viaFermion.Len() {
+				t.Errorf("%s n_%d: term count %d vs %d", m.Name, j, direct.Len(), viaFermion.Len())
+			}
+		}
+	}
+}
+
+func TestStringActionOnBasis(t *testing.T) {
+	// X1 on |00⟩ gives |10⟩ amp 1; Y0 on |01⟩ gives −i|00⟩.
+	s := pauli.MustParse("XI")
+	amp, mask := stringActionOnBasis(s, 0)
+	if mask != 0b10 || cmplx.Abs(amp-1) > 1e-12 {
+		t.Errorf("X1|00⟩ = %v|%02b⟩", amp, mask)
+	}
+	s2 := pauli.MustParse("IY")
+	amp2, mask2 := stringActionOnBasis(s2, 1)
+	if mask2 != 0 || cmplx.Abs(amp2-complex(0, -1)) > 1e-12 {
+		t.Errorf("Y0|01⟩ = %v|%02b⟩, want -i|00⟩", amp2, mask2)
+	}
+}

@@ -1,0 +1,73 @@
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/pauli"
+)
+
+// VerifyIndependent strengthens Verify with the Fermihedral-style linear
+// algebra check: viewed as vectors over GF(2) in the symplectic (X|Z)
+// representation, the 2N Majorana strings must be linearly independent —
+// otherwise some product of them would be a global phase times identity
+// and the mapping could not represent all Fock operators faithfully.
+func (m *Mapping) VerifyIndependent() error {
+	if err := m.Verify(); err != nil {
+		return err
+	}
+	n := m.Qubits()
+	cols := 2 * n // x bits then z bits
+	words := (cols + 63) / 64
+	rows := make([][]uint64, 0, len(m.Majoranas))
+	for _, s := range m.Majoranas {
+		row := make([]uint64, words)
+		for q := 0; q < n; q++ {
+			switch s.Letter(q) {
+			case pauli.X:
+				setBit(row, q)
+			case pauli.Z:
+				setBit(row, n+q)
+			case pauli.Y:
+				setBit(row, q)
+				setBit(row, n+q)
+			}
+		}
+		rows = append(rows, row)
+	}
+	if rank := gf2Rank(rows, cols); rank != len(m.Majoranas) {
+		return fmt.Errorf("mapping %s: Majorana strings have GF(2) rank %d, want %d",
+			m.Name, rank, len(m.Majoranas))
+	}
+	return nil
+}
+
+func setBit(row []uint64, i int) { row[i/64] |= 1 << uint(i%64) }
+
+func getBit(row []uint64, i int) bool { return row[i/64]>>uint(i%64)&1 == 1 }
+
+// gf2Rank computes the rank of a bit matrix by Gaussian elimination.
+func gf2Rank(rows [][]uint64, cols int) int {
+	rank := 0
+	for c := 0; c < cols && rank < len(rows); c++ {
+		pivot := -1
+		for r := rank; r < len(rows); r++ {
+			if getBit(rows[r], c) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for r := 0; r < len(rows); r++ {
+			if r != rank && getBit(rows[r], c) {
+				for w := range rows[r] {
+					rows[r][w] ^= rows[rank][w]
+				}
+			}
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,26 @@
+package mapping
+
+import "repro/internal/pauli"
+
+// JordanWigner returns the Jordan–Wigner transformation on n modes:
+//
+//	M_{2j}   = X_j · Z_{j-1} ⋯ Z_0
+//	M_{2j+1} = Y_j · Z_{j-1} ⋯ Z_0
+//
+// matching the paper's 2-mode example (M0 = IX, M1 = IY, M2 = XZ, M3 = YZ).
+func JordanWigner(n int) *Mapping {
+	mj := make([]pauli.String, 2*n)
+	for j := 0; j < n; j++ {
+		even := pauli.Identity(n)
+		odd := pauli.Identity(n)
+		for k := 0; k < j; k++ {
+			even.SetLetter(k, pauli.Z)
+			odd.SetLetter(k, pauli.Z)
+		}
+		even.SetLetter(j, pauli.X)
+		odd.SetLetter(j, pauli.Y)
+		mj[2*j] = even
+		mj[2*j+1] = odd
+	}
+	return &Mapping{Name: "JW", Modes: n, Majoranas: mj}
+}

@@ -1,0 +1,159 @@
+// Package mapping defines fermion-to-qubit mappings and implements the
+// constructive baselines the paper compares against: Jordan–Wigner (JW),
+// Bravyi–Kitaev (BK, via Fenwick trees), and the balanced ternary tree
+// (BTT) of Jiang et al. The HATT mappings produced by internal/core are
+// returned as the same Mapping type, so the whole evaluation pipeline is
+// mapping-agnostic.
+//
+// A mapping assigns to each of the 2N Majorana operators a Pauli string on
+// N qubits such that the strings pairwise anticommute and each squares to
+// +1 — exactly the condition for {M_i, M_j} = 2δ_ij.
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/fermion"
+	"repro/internal/pauli"
+	"repro/internal/tree"
+)
+
+// Mapping is a concrete fermion-to-qubit mapping: 2N Majorana Pauli
+// strings on N qubits, indexed by Majorana operator index.
+type Mapping struct {
+	Name      string
+	Modes     int
+	Majoranas []pauli.String
+}
+
+// Qubits returns the number of qubits the mapping targets.
+func (m *Mapping) Qubits() int {
+	if len(m.Majoranas) == 0 {
+		return 0
+	}
+	return m.Majoranas[0].N()
+}
+
+// Majorana returns the Pauli string of Majorana operator j.
+func (m *Mapping) Majorana(j int) pauli.String {
+	return m.Majoranas[j]
+}
+
+// Verify checks the defining algebra: exactly 2·Modes strings, all on the
+// same qubit count, pairwise anticommuting, each Hermitian (letter phase
+// real) and hence squaring to +1.
+func (m *Mapping) Verify() error {
+	if len(m.Majoranas) != 2*m.Modes {
+		return fmt.Errorf("mapping %s: %d Majoranas, want %d", m.Name, len(m.Majoranas), 2*m.Modes)
+	}
+	n := m.Qubits()
+	for i, s := range m.Majoranas {
+		if s.N() != n {
+			return fmt.Errorf("mapping %s: M%d on %d qubits, want %d", m.Name, i, s.N(), n)
+		}
+		if p := s.LetterPhase(); p != 0 && p != 2 {
+			return fmt.Errorf("mapping %s: M%d not Hermitian (phase i^%d)", m.Name, i, p)
+		}
+		if s.IsIdentity() {
+			return fmt.Errorf("mapping %s: M%d is the identity", m.Name, i)
+		}
+	}
+	for i := range m.Majoranas {
+		for j := i + 1; j < len(m.Majoranas); j++ {
+			if !m.Majoranas[i].Anticommutes(m.Majoranas[j]) {
+				return fmt.Errorf("mapping %s: M%d and M%d commute", m.Name, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Apply maps a Majorana-form fermionic Hamiltonian to the qubit
+// Hamiltonian by substituting each Majorana index with its Pauli string and
+// multiplying out each monomial with exact phases.
+func (m *Mapping) Apply(mh *fermion.MajoranaHamiltonian) *pauli.Hamiltonian {
+	if mh.Modes != m.Modes {
+		panic(fmt.Sprintf("mapping %s: Hamiltonian on %d modes, mapping on %d", m.Name, mh.Modes, m.Modes))
+	}
+	h := pauli.NewHamiltonian(m.Qubits())
+	for _, t := range mh.Terms {
+		s := pauli.Identity(m.Qubits())
+		for _, idx := range t.Indices {
+			s = s.Mul(m.Majoranas[idx])
+		}
+		h.Add(t.Coeff, s)
+	}
+	h.Prune(1e-12)
+	return h
+}
+
+// ApplyFermionic is a convenience wrapper: second-quantized Hamiltonian in,
+// qubit Hamiltonian out.
+func (m *Mapping) ApplyFermionic(h *fermion.Hamiltonian) *pauli.Hamiltonian {
+	return m.Apply(h.Majorana(1e-14))
+}
+
+// VacuumPreserved reports whether the mapping sends the fermionic vacuum to
+// |0…0⟩: for every mode j, a_j |0…0⟩ = 0, i.e. (S_{2j} + i·S_{2j+1})
+// annihilates the all-zero state. Both strings must flip the same set of
+// qubits and their amplitudes on |0…0⟩ must cancel.
+func (m *Mapping) VacuumPreserved() bool {
+	for j := 0; j < m.Modes; j++ {
+		a1, f1 := actionOnZero(m.Majoranas[2*j])
+		a2, f2 := actionOnZero(m.Majoranas[2*j+1])
+		if f1 != f2 {
+			return false
+		}
+		if s := a1 + complex(0, 1)*a2; real(s)*real(s)+imag(s)*imag(s) > 1e-20 {
+			return false
+		}
+	}
+	return true
+}
+
+// actionOnZero returns the amplitude and flip mask of s|0…0⟩ = amp·|mask⟩.
+// Requires N ≤ 64 qubits for the mask; amplitudes are exact.
+func actionOnZero(s pauli.String) (complex128, uint64) {
+	amp := s.LetterCoeff()
+	var mask uint64
+	for _, q := range s.Support() {
+		switch s.Letter(q) {
+		case pauli.X:
+			mask |= 1 << uint(q)
+		case pauli.Y:
+			mask |= 1 << uint(q)
+			amp *= complex(0, 1) // Y|0⟩ = i|1⟩
+		case pauli.Z:
+			// Z|0⟩ = |0⟩
+		}
+	}
+	return amp, mask
+}
+
+// HamiltonianWeight is the paper's primary metric: the total Pauli weight
+// of the qubit Hamiltonian obtained from this mapping.
+func (m *Mapping) HamiltonianWeight(mh *fermion.MajoranaHamiltonian) int {
+	return m.Apply(mh).Weight()
+}
+
+// FromTreePaired builds a mapping from any complete ternary tree using the
+// canonical vacuum-preserving leaf pairing (used by the BTT baseline).
+func FromTreePaired(name string, t *tree.Tree) *Mapping {
+	assign := t.MajoranaAssignment(t.CanonicalPairing())
+	ss := t.AllStrings()
+	mj := make([]pauli.String, 2*t.N)
+	for i, leafID := range assign {
+		mj[i] = ss[leafID]
+	}
+	return &Mapping{Name: name, Modes: t.N, Majoranas: mj}
+}
+
+// FromTreeByLeafID builds a mapping whose Majorana index j is realized by
+// the string of leaf ID j, discarding leaf 2N. This is HATT's convention:
+// the construction fixes leaf IDs to Majorana indices up front.
+func FromTreeByLeafID(name string, t *tree.Tree) *Mapping {
+	ss := t.AllStrings()
+	mj := make([]pauli.String, 2*t.N)
+	copy(mj, ss[:2*t.N])
+	return &Mapping{Name: name, Modes: t.N, Majoranas: mj}
+}

@@ -1,0 +1,31 @@
+package mapping
+
+import "repro/internal/pauli"
+
+// Parity returns the parity transformation on n modes (Bravyi et al.,
+// "Tapering off qubits"): qubit j stores the parity of modes 0…j, the
+// dual of Jordan–Wigner. Majorana operators are
+//
+//	M_{2j}   = X_{n-1} ⋯ X_j · Z_{j-1}
+//	M_{2j+1} = X_{n-1} ⋯ X_{j+1} · Y_j
+//
+// (an occupation flip of mode j flips every parity qubit from j upward).
+func Parity(n int) *Mapping {
+	mj := make([]pauli.String, 2*n)
+	for j := 0; j < n; j++ {
+		even := pauli.Identity(n)
+		odd := pauli.Identity(n)
+		for k := j + 1; k < n; k++ {
+			even.SetLetter(k, pauli.X)
+			odd.SetLetter(k, pauli.X)
+		}
+		even.SetLetter(j, pauli.X)
+		odd.SetLetter(j, pauli.Y)
+		if j > 0 {
+			even.SetLetter(j-1, pauli.Z)
+		}
+		mj[2*j] = even
+		mj[2*j+1] = odd
+	}
+	return &Mapping{Name: "Parity", Modes: n, Majoranas: mj}
+}

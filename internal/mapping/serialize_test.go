@@ -1,0 +1,44 @@
+package mapping
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMappingTextRoundTrip(t *testing.T) {
+	for _, m := range []*Mapping{JordanWigner(3), BravyiKitaev(4), BalancedTernaryTree(5)} {
+		var buf bytes.Buffer
+		if err := m.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if back.Name != m.Name || back.Modes != m.Modes {
+			t.Fatalf("%s: header mismatch", m.Name)
+		}
+		for j := range m.Majoranas {
+			if !back.Majoranas[j].Equal(m.Majoranas[j]) {
+				t.Fatalf("%s: M%d mismatch: %s vs %s", m.Name, j, back.Majoranas[j], m.Majoranas[j])
+			}
+		}
+	}
+}
+
+func TestReadTextRejectsInvalid(t *testing.T) {
+	cases := []string{
+		"",                                      // empty
+		"M0 XX\n",                               // missing header
+		"# mapping x modes=2 qubits=2\nM9 XX\n", // index out of range
+		"# mapping x modes=2 qubits=2\nM0 XQ\n", // bad letter
+		// Valid shape but fails algebraic verification (missing strings).
+		"# mapping x modes=2 qubits=2\nM0 XX\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted invalid input %q", c)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package models
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/mapping"
+	"repro/internal/pauli"
+)
+
+// totalNumberOperator builds Σ_j n_j as a qubit Hamiltonian under m.
+func totalNumberOperator(m *mapping.Mapping) *pauli.Hamiltonian {
+	h := pauli.NewHamiltonian(m.Qubits())
+	for j := 0; j < m.Modes; j++ {
+		h.AddHamiltonian(1, m.OccupationOperator(j))
+	}
+	return h
+}
+
+func TestHubbardConservesParticleNumber(t *testing.T) {
+	// [H, N] = 0: the Hubbard Hamiltonian conserves total particle number.
+	mh := FermiHubbard(1, 2, 1, 4).Majorana(1e-12)
+	m := mapping.JordanWigner(4)
+	hq := m.Apply(mh)
+	nOp := totalNumberOperator(m)
+	comm := hq.Mul(nOp)
+	rev := nOp.Mul(hq)
+	rev2 := pauli.NewHamiltonian(4)
+	rev2.AddHamiltonian(-1, rev)
+	comm.AddHamiltonian(1, rev2)
+	comm.Prune(1e-10)
+	if comm.Len() != 0 {
+		t.Errorf("[H, N] ≠ 0: %s", comm)
+	}
+}
+
+func TestNeutrinoConservesParticleNumber(t *testing.T) {
+	mh := NeutrinoOscillation(2, 2, 1).Majorana(1e-12)
+	m := mapping.JordanWigner(8)
+	hq := m.Apply(mh)
+	nOp := totalNumberOperator(m)
+	ab := hq.Mul(nOp)
+	ba := nOp.Mul(hq)
+	diff := pauli.NewHamiltonian(8)
+	diff.AddHamiltonian(1, ab)
+	diff.AddHamiltonian(-1, ba)
+	diff.Prune(1e-9)
+	if diff.Len() != 0 {
+		t.Errorf("neutrino [H, N] ≠ 0 (%d residual terms)", diff.Len())
+	}
+}
+
+func TestH2ConservesSpin(t *testing.T) {
+	// H2 commutes with the spin-up particle count (modes 0 and 2 in the
+	// interleaved convention).
+	m := mapping.JordanWigner(4)
+	hq := m.ApplyFermionic(H2STO3G())
+	spinUp := pauli.NewHamiltonian(4)
+	spinUp.AddHamiltonian(1, m.OccupationOperator(0))
+	spinUp.AddHamiltonian(1, m.OccupationOperator(2))
+	ab := hq.Mul(spinUp)
+	ba := spinUp.Mul(hq)
+	diff := pauli.NewHamiltonian(4)
+	diff.AddHamiltonian(1, ab)
+	diff.AddHamiltonian(-1, ba)
+	diff.Prune(1e-9)
+	if diff.Len() != 0 {
+		t.Errorf("[H2, N↑] ≠ 0 (%d residual terms)", diff.Len())
+	}
+}
+
+func TestExtendedCatalog(t *testing.T) {
+	ext := ElectronicExtended()
+	if len(ext) != len(Electronic())+4 {
+		t.Fatalf("extended catalog size %d", len(ext))
+	}
+	seen := map[string]bool{}
+	for _, c := range ext {
+		if seen[c.Name] {
+			t.Fatalf("duplicate case %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Modes%2 != 0 || c.Modes <= 0 {
+			t.Errorf("%s: bad mode count %d", c.Name, c.Modes)
+		}
+	}
+	// Smoke-build one extended case and check Hermiticity.
+	h := ext[len(ext)-1].Build()
+	if !h.Majorana(1e-12).IsHermitian(1e-9) {
+		t.Error("extended molecule not Hermitian")
+	}
+}
+
+func TestSyntheticGroundEnergyFinite(t *testing.T) {
+	// Small synthetic molecule must have a finite, negative ground energy
+	// (diagonal-dominant one-body part).
+	h := SyntheticMolecule("t", 6, 5, 0.4)
+	hq := mapping.JordanWigner(6).ApplyFermionic(h)
+	e := linalg.GroundEnergy(hq)
+	if e >= 0 || cmplx.IsNaN(complex(e, 0)) {
+		t.Errorf("synthetic ground energy = %v", e)
+	}
+}

@@ -1,0 +1,47 @@
+package models
+
+import "repro/internal/fermion"
+
+// FermiHubbard builds the rows×cols Fermi–Hubbard model (§V-A 2):
+//
+//	H = Σ_{⟨i,j⟩,σ} t·(a†_{iσ} a_{jσ} + h.c.) + U Σ_i n_{i↑} n_{i↓}
+//
+// on a rectangular lattice with nearest-neighbor hopping t and on-site
+// interaction U. Mode indexing: mode(site, σ) = 2·site + σ with
+// site = row·cols + col, giving 2·rows·cols modes (Table II geometries).
+func FermiHubbard(rows, cols int, t, u float64) *fermion.Hamiltonian {
+	if rows <= 0 || cols <= 0 {
+		panic("models: non-positive lattice dimension")
+	}
+	sites := rows * cols
+	h := fermion.NewHamiltonian(2 * sites)
+	site := func(r, c int) int { return r*cols + c }
+	mode := func(s, spin int) int { return 2*s + spin }
+	// Hopping on lattice edges, both spins.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			s := site(r, c)
+			if c+1 < cols {
+				for spin := 0; spin < 2; spin++ {
+					h.AddHermitian(complex(-t, 0),
+						fermion.Op{Mode: mode(s, spin), Dagger: true},
+						fermion.Op{Mode: mode(site(r, c+1), spin)})
+				}
+			}
+			if r+1 < rows {
+				for spin := 0; spin < 2; spin++ {
+					h.AddHermitian(complex(-t, 0),
+						fermion.Op{Mode: mode(s, spin), Dagger: true},
+						fermion.Op{Mode: mode(site(r+1, c), spin)})
+				}
+			}
+		}
+	}
+	// On-site interaction U·n↑n↓.
+	for s := 0; s < sites; s++ {
+		h.Add(complex(u, 0),
+			fermion.Op{Mode: mode(s, 0), Dagger: true}, fermion.Op{Mode: mode(s, 0)},
+			fermion.Op{Mode: mode(s, 1), Dagger: true}, fermion.Op{Mode: mode(s, 1)})
+	}
+	return h
+}

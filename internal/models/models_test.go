@@ -1,0 +1,225 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fermion"
+	"repro/internal/linalg"
+	"repro/internal/mapping"
+)
+
+func TestH2GroundEnergy(t *testing.T) {
+	// The H₂/STO-3G FCI ground-state energy at 0.7414 Å is ≈ −1.137 Ha
+	// (electronic −1.851 Ha + nuclear 0.714 Ha). This validates the
+	// integrals, the spin-orbital assembly, and the whole mapping stack.
+	h := H2STO3G()
+	hq := mapping.JordanWigner(4).ApplyFermionic(h)
+	e := linalg.GroundEnergy(hq)
+	if math.Abs(e-(-1.137)) > 0.01 {
+		t.Errorf("H2 ground energy = %.4f Ha, want ≈ -1.137", e)
+	}
+}
+
+func TestH2HamiltonianShape(t *testing.T) {
+	h := H2STO3G()
+	if h.Modes != 4 {
+		t.Fatalf("modes = %d, want 4", h.Modes)
+	}
+	mh := h.Majorana(1e-12)
+	if !mh.IsHermitian(1e-10) {
+		t.Error("H2 not Hermitian in Majorana form")
+	}
+	// JW Pauli weight should be in the ballpark of Table I's 32.
+	w := mapping.JordanWigner(4).Apply(mh).Weight()
+	if w < 20 || w > 50 {
+		t.Errorf("H2 JW weight = %d, expected near 32", w)
+	}
+}
+
+func TestSyntheticIntegralSymmetries(t *testing.T) {
+	mi := SyntheticIntegrals("test", 8, 42, 0.4)
+	n := mi.Orbitals
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if mi.One[p][q] != mi.One[q][p] {
+				t.Fatalf("one-body not symmetric at (%d,%d)", p, q)
+			}
+			for r := 0; r < n; r++ {
+				for s := 0; s < n; s++ {
+					v := mi.Two[p][q][r][s]
+					for _, w := range []float64{
+						mi.Two[q][p][r][s], mi.Two[p][q][s][r],
+						mi.Two[r][s][p][q], mi.Two[s][r][q][p],
+					} {
+						if v != w {
+							t.Fatalf("two-body symmetry broken at (%d%d|%d%d)", p, q, r, s)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSyntheticMoleculeHermitian(t *testing.T) {
+	h := SyntheticMolecule("x", 8, 7, 0.4)
+	mh := h.Majorana(1e-12)
+	if !mh.IsHermitian(1e-9) {
+		t.Error("synthetic molecule not Hermitian")
+	}
+	if len(mh.Terms) == 0 {
+		t.Error("synthetic molecule is empty")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := SyntheticMolecule("x", 6, 9, 0.4).Majorana(1e-12)
+	b := SyntheticMolecule("x", 6, 9, 0.4).Majorana(1e-12)
+	if len(a.Terms) != len(b.Terms) {
+		t.Fatal("same seed gave different Hamiltonians")
+	}
+	for i := range a.Terms {
+		if a.Terms[i].Coeff != b.Terms[i].Coeff {
+			t.Fatal("same seed gave different coefficients")
+		}
+	}
+}
+
+func TestFermiHubbardShape(t *testing.T) {
+	h := FermiHubbard(2, 2, 1, 4)
+	if h.Modes != 8 {
+		t.Fatalf("2x2 modes = %d, want 8", h.Modes)
+	}
+	// Edges: 2x2 grid has 4 edges × 2 spins × 2 (h.c.) = 16 hopping terms,
+	// plus 4 interaction terms.
+	if h.NumTerms() != 20 {
+		t.Errorf("2x2 terms = %d, want 20", h.NumTerms())
+	}
+	if !h.Majorana(1e-12).IsHermitian(1e-10) {
+		t.Error("Hubbard not Hermitian")
+	}
+}
+
+func TestFermiHubbardHalfFillingSymmetry(t *testing.T) {
+	// Particle-hole-ish sanity: the 1×2 Hubbard model (2 sites, 4 modes)
+	// has known spectrum features; check ground energy of the t=1, U=0
+	// case: free fermions on 2 sites → E0 = -2t (both spins bonding).
+	h := FermiHubbard(1, 2, 1, 0)
+	hq := mapping.JordanWigner(4).ApplyFermionic(h)
+	e := linalg.GroundEnergy(hq)
+	if math.Abs(e-(-2)) > 1e-6 {
+		t.Errorf("U=0 two-site ground energy = %v, want -2", e)
+	}
+}
+
+func TestFermiHubbardUPenalty(t *testing.T) {
+	// With t=0, U=4 the spectrum is {0, 4, 8, …}: ground energy 0 and the
+	// doubly-occupied site costs 4.
+	h := FermiHubbard(1, 2, 0, 4)
+	hq := mapping.JordanWigner(4).ApplyFermionic(h)
+	ev := linalg.EigenvaluesHermitian(linalg.Matrix(hq))
+	if math.Abs(ev[0]) > 1e-9 {
+		t.Errorf("t=0 ground energy = %v, want 0", ev[0])
+	}
+	if math.Abs(ev[len(ev)-1]-8) > 1e-9 {
+		t.Errorf("t=0 max energy = %v, want 8", ev[len(ev)-1])
+	}
+}
+
+func TestNeutrinoShape(t *testing.T) {
+	h := NeutrinoOscillation(3, 2, 1.0)
+	if h.Modes != 12 {
+		t.Fatalf("3x2F modes = %d, want 12", h.Modes)
+	}
+	mh := h.Majorana(1e-12)
+	if !mh.IsHermitian(1e-9) {
+		t.Error("neutrino Hamiltonian not Hermitian")
+	}
+	if len(mh.Terms) < 12 {
+		t.Errorf("suspiciously few terms: %d", len(mh.Terms))
+	}
+}
+
+func TestNeutrinoKineticOnly(t *testing.T) {
+	// With µ=0 only number terms remain: every Majorana monomial is a
+	// quadratic (2j, 2j+1) pair.
+	mh := NeutrinoOscillation(2, 2, 0).Majorana(1e-12)
+	for _, term := range mh.Terms {
+		if len(term.Indices) == 0 {
+			continue
+		}
+		if len(term.Indices) != 2 || term.Indices[1] != term.Indices[0]+1 || term.Indices[0]%2 != 0 {
+			t.Fatalf("unexpected monomial %v for kinetic-only model", term.Indices)
+		}
+	}
+}
+
+func TestCatalogModeCounts(t *testing.T) {
+	for _, c := range Electronic() {
+		h := c.Build()
+		if h.Modes != c.Modes {
+			t.Errorf("%s: modes %d, want %d", c.Name, h.Modes, c.Modes)
+		}
+		break // building every molecule here is slow; smoke-test the first
+	}
+	for _, c := range Hubbard() {
+		h := c.Build()
+		if h.Modes != c.Modes {
+			t.Errorf("%s: modes %d, want %d", c.Name, h.Modes, c.Modes)
+		}
+		if c.Modes > 16 {
+			break
+		}
+	}
+	for _, c := range Neutrino() {
+		if c.Modes != 0 && c.Modes%2 != 0 {
+			t.Errorf("%s: odd mode count %d", c.Name, c.Modes)
+		}
+	}
+	// Table parity: catalog names and sizes match the paper.
+	el := Electronic()
+	if el[0].Name != "H2_sto3g" || el[0].Modes != 4 {
+		t.Error("electronic catalog head mismatch")
+	}
+	hu := Hubbard()
+	if hu[len(hu)-1].Name != "4x5" || hu[len(hu)-1].Modes != 40 {
+		t.Error("hubbard catalog tail mismatch")
+	}
+	ne := Neutrino()
+	if ne[len(ne)-1].Name != "7x3F" || ne[len(ne)-1].Modes != 42 {
+		t.Error("neutrino catalog tail mismatch")
+	}
+}
+
+func TestH2VacuumExpectation(t *testing.T) {
+	// ⟨vac|H|vac⟩ = nuclear repulsion (no electrons).
+	h := H2STO3G()
+	for _, m := range []*mapping.Mapping{mapping.JordanWigner(4), mapping.BravyiKitaev(4)} {
+		hq := m.ApplyFermionic(h)
+		e := real(hq.ExpectationOnBasis(0))
+		if math.Abs(e-0.713754) > 1e-6 {
+			t.Errorf("%s: vacuum energy = %v, want nuclear 0.713754", m.Name, e)
+		}
+	}
+}
+
+func mustMajorana(t *testing.T, h *fermion.Hamiltonian) *fermion.MajoranaHamiltonian {
+	t.Helper()
+	mh := h.Majorana(1e-12)
+	if len(mh.Terms) == 0 {
+		t.Fatal("empty Hamiltonian")
+	}
+	return mh
+}
+
+func TestHubbardJWWeightScale(t *testing.T) {
+	// Table II reports JW weight 80 for the 2×2 lattice. Our construction
+	// should land in that neighborhood (exact value depends on mode
+	// ordering conventions).
+	mh := mustMajorana(t, FermiHubbard(2, 2, 1, 4))
+	w := mapping.JordanWigner(8).Apply(mh).Weight()
+	if w < 40 || w > 160 {
+		t.Errorf("2x2 JW weight = %d, expected near 80", w)
+	}
+}

@@ -1,0 +1,80 @@
+package models
+
+import (
+	"math"
+
+	"repro/internal/fermion"
+)
+
+// NeutrinoOscillation builds the collective neutrino oscillation
+// Hamiltonian (§V-A 3) on a 1D momentum lattice with `sites` momentum
+// modes, `flavors` neutrino flavors, and two propagation directions —
+// 2·sites·flavors modes total, matching Table III (e.g. 3×2F → 12 modes).
+//
+//	H = Σ_{i,a,d} √(p_i² + m_a²) · n_{i,a,d}
+//	  + Σ_{i1,i2,i3; a,b; d,d'} C_{i1,i2,i3} ·
+//	        a†_{a,i1,d} a_{a,i3,d} a†_{b,i2,d'} a_{b,i4,d'}  + h.c.
+//
+// with momentum conservation i4 = i1 + i2 − i3 and the paper's coupling
+// C_{i1,i2,i3} = µ·(p_{i2} − p_{i1})·(p_{i4} − p_{i3}). Momenta are the
+// lattice values p_i = i+1 and masses m_a = 0.1·(a+1).
+func NeutrinoOscillation(sites, flavors int, mu float64) *fermion.Hamiltonian {
+	if sites <= 0 || flavors <= 0 {
+		panic("models: non-positive neutrino lattice")
+	}
+	const dirs = 2
+	n := dirs * sites * flavors
+	h := fermion.NewHamiltonian(n)
+	mode := func(i, a, d int) int { return (i*flavors+a)*dirs + d }
+	p := func(i int) float64 { return float64(i + 1) }
+	m := func(a int) float64 { return 0.1 * float64(a+1) }
+	// Kinetic terms.
+	for i := 0; i < sites; i++ {
+		for a := 0; a < flavors; a++ {
+			e := math.Sqrt(p(i)*p(i) + m(a)*m(a))
+			for d := 0; d < dirs; d++ {
+				h.Add(complex(e, 0),
+					fermion.Op{Mode: mode(i, a, d), Dagger: true},
+					fermion.Op{Mode: mode(i, a, d)})
+			}
+		}
+	}
+	// Momentum-conserving two-body couplings.
+	for i1 := 0; i1 < sites; i1++ {
+		for i2 := 0; i2 < sites; i2++ {
+			for i3 := 0; i3 < sites; i3++ {
+				i4 := i1 + i2 - i3
+				if i4 < 0 || i4 >= sites {
+					continue
+				}
+				c := mu * (p(i2) - p(i1)) * (p(i4) - p(i3))
+				if math.Abs(c) < 1e-12 {
+					continue
+				}
+				for a := 0; a < flavors; a++ {
+					for b := 0; b < flavors; b++ {
+						for d := 0; d < dirs; d++ {
+							for dp := 0; dp < dirs; dp++ {
+								m1 := mode(i1, a, d)
+								m3 := mode(i3, a, d)
+								m2 := mode(i2, b, dp)
+								m4 := mode(i4, b, dp)
+								if m1 == m3 && m2 == m4 {
+									// Density-density term: self-conjugate.
+									h.Add(complex(c, 0),
+										fermion.Op{Mode: m1, Dagger: true}, fermion.Op{Mode: m3},
+										fermion.Op{Mode: m2, Dagger: true}, fermion.Op{Mode: m4})
+									continue
+								}
+								h.AddHermitian(complex(0.5*c, 0),
+									fermion.Op{Mode: m1, Dagger: true}, fermion.Op{Mode: m3},
+									fermion.Op{Mode: m2, Dagger: true}, fermion.Op{Mode: m4})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return h
+}

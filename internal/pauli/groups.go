@@ -1,0 +1,57 @@
+package pauli
+
+// QWCGroup is a set of qubit-wise commuting terms: on every qubit, all
+// members act with the same non-identity letter or the identity, so one
+// measurement basis serves the whole group.
+type QWCGroup struct {
+	Terms []Term
+	// Basis[q] is the shared letter on qubit q (I where every member is
+	// identity).
+	Basis []Letter
+}
+
+// qwcCompatible reports whether s fits the partial basis, and extends it.
+func qwcCompatible(basis []Letter, s String) bool {
+	for _, q := range s.Support() {
+		l := s.Letter(q)
+		if basis[q] != I && basis[q] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupQWC partitions the non-identity terms of h into qubit-wise
+// commuting groups with first-fit greedy assignment over terms in
+// descending coefficient order (the standard measurement-grouping
+// heuristic). Identity terms are excluded; add their coefficients
+// directly. The number of groups equals the number of distinct
+// measurement settings needed to estimate ⟨h⟩.
+func GroupQWC(h *Hamiltonian) []QWCGroup {
+	var groups []QWCGroup
+	for _, t := range h.Terms() {
+		if t.S.IsIdentity() {
+			continue
+		}
+		placed := false
+		for gi := range groups {
+			if qwcCompatible(groups[gi].Basis, t.S) {
+				groups[gi].Terms = append(groups[gi].Terms, t)
+				for _, q := range t.S.Support() {
+					groups[gi].Basis[q] = t.S.Letter(q)
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			g := QWCGroup{Basis: make([]Letter, h.N())}
+			for _, q := range t.S.Support() {
+				g.Basis[q] = t.S.Letter(q)
+			}
+			g.Terms = []Term{t}
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}

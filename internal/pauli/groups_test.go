@@ -1,0 +1,65 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGroupQWCBasics(t *testing.T) {
+	h := NewHamiltonian(3)
+	h.Add(1, MustParse("ZZI"))
+	h.Add(1, MustParse("IZZ")) // shares Z on q1 with the first: compatible
+	h.Add(1, MustParse("XXI")) // conflicts on q1/q2
+	h.Add(0.5, Identity(3))    // excluded
+	groups := GroupQWC(h)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.Terms)
+	}
+	if total != 3 {
+		t.Fatalf("grouped %d terms, want 3", total)
+	}
+}
+
+func TestGroupQWCMembersPairwiseCompatible(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	h := NewHamiltonian(5)
+	for i := 0; i < 40; i++ {
+		h.Add(complex(r.NormFloat64(), 0), randomString(r, 5))
+	}
+	for gi, g := range GroupQWC(h) {
+		for i := 0; i < len(g.Terms); i++ {
+			for j := i + 1; j < len(g.Terms); j++ {
+				a, b := g.Terms[i].S, g.Terms[j].S
+				for q := 0; q < 5; q++ {
+					la, lb := a.Letter(q), b.Letter(q)
+					if la != I && lb != I && la != lb {
+						t.Fatalf("group %d: %s and %s clash on qubit %d", gi, a, b, q)
+					}
+				}
+			}
+		}
+		// The basis must cover every member.
+		for _, term := range g.Terms {
+			for _, q := range term.S.Support() {
+				if g.Basis[q] != term.S.Letter(q) {
+					t.Fatalf("basis does not cover %s at qubit %d", term.S, q)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupQWCSingleGroupForCommutingFamily(t *testing.T) {
+	// All-Z diagonal Hamiltonians need exactly one measurement setting.
+	h := NewHamiltonian(4)
+	h.Add(1, MustParse("ZIII"))
+	h.Add(1, MustParse("IZZI"))
+	h.Add(1, MustParse("ZZZZ"))
+	if g := GroupQWC(h); len(g) != 1 {
+		t.Fatalf("diagonal family needs 1 group, got %d", len(g))
+	}
+}

@@ -1,0 +1,201 @@
+package pauli
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+	"strings"
+)
+
+// Term is one weighted Pauli string of a qubit Hamiltonian. The phase of S
+// is always folded into Coeff, so S.Phase() is 0 for terms stored in a
+// Hamiltonian.
+type Term struct {
+	Coeff complex128
+	S     String
+}
+
+// Hamiltonian is a weighted sum of Pauli strings on a fixed qubit count.
+// Terms with coincident letters are merged. The zero value is unusable;
+// construct with NewHamiltonian.
+type Hamiltonian struct {
+	n     int
+	terms map[string]Term
+}
+
+// NewHamiltonian returns an empty Hamiltonian on n qubits.
+func NewHamiltonian(n int) *Hamiltonian {
+	return &Hamiltonian{n: n, terms: make(map[string]Term)}
+}
+
+// N returns the number of qubits.
+func (h *Hamiltonian) N() int { return h.n }
+
+// Add accumulates c·s into the Hamiltonian. The stored term is the
+// letter-form string (LetterPhase 0); any excess phase of s is folded into
+// the coefficient so that Σ Coeff·letters reproduces c·s exactly.
+func (h *Hamiltonian) Add(c complex128, s String) {
+	if s.N() != h.n {
+		panic(fmt.Sprintf("pauli: term on %d qubits added to %d-qubit Hamiltonian", s.N(), h.n))
+	}
+	c *= s.LetterCoeff()
+	canon := s.Clone()
+	canon.phase = uint8(canon.yCount() & 3) // LetterPhase 0
+	k := canon.Key()
+	t, ok := h.terms[k]
+	if !ok {
+		h.terms[k] = Term{Coeff: c, S: canon}
+		return
+	}
+	t.Coeff += c
+	h.terms[k] = t
+}
+
+// AddHamiltonian accumulates c·g into h.
+func (h *Hamiltonian) AddHamiltonian(c complex128, g *Hamiltonian) {
+	for _, t := range g.terms {
+		h.Add(c*t.Coeff, t.S)
+	}
+}
+
+// Prune removes terms whose coefficient magnitude is at most eps.
+func (h *Hamiltonian) Prune(eps float64) {
+	for k, t := range h.terms {
+		if cmplx.Abs(t.Coeff) <= eps {
+			delete(h.terms, k)
+		}
+	}
+}
+
+// Len returns the number of stored terms (including a possible identity
+// term).
+func (h *Hamiltonian) Len() int { return len(h.terms) }
+
+// Terms returns the terms sorted by descending |coeff| then by string form,
+// giving deterministic iteration order.
+func (h *Hamiltonian) Terms() []Term {
+	ts := make([]Term, 0, len(h.terms))
+	for _, t := range h.terms {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		ai, aj := cmplx.Abs(ts[i].Coeff), cmplx.Abs(ts[j].Coeff)
+		if math.Abs(ai-aj) > 1e-15 {
+			return ai > aj
+		}
+		return ts[i].S.Key() < ts[j].S.Key()
+	})
+	return ts
+}
+
+// Weight returns the total Pauli weight: the sum of weights of all terms
+// with non-negligible coefficients. Identity terms contribute zero, matching
+// the paper's metric.
+func (h *Hamiltonian) Weight() int {
+	w := 0
+	for _, t := range h.terms {
+		if cmplx.Abs(t.Coeff) > 1e-12 {
+			w += t.S.Weight()
+		}
+	}
+	return w
+}
+
+// NonIdentityTerms returns the number of terms with nonzero weight and
+// non-negligible coefficient.
+func (h *Hamiltonian) NonIdentityTerms() int {
+	c := 0
+	for _, t := range h.terms {
+		if cmplx.Abs(t.Coeff) > 1e-12 && !t.S.IsIdentity() {
+			c++
+		}
+	}
+	return c
+}
+
+// Coeff returns the coefficient of the letter form of s in h, scaled by any
+// excess phase of s, so that h.Coeff(s)·s is the stored contribution. For a
+// plain letter-form query this is simply the stored coefficient.
+func (h *Hamiltonian) Coeff(s String) complex128 {
+	t, ok := h.terms[s.Key()]
+	if !ok {
+		return 0
+	}
+	// The stored term is c·(letters). The query contributes relative to its
+	// own letter form: coefficient of s in h is c / i^LetterPhase(s).
+	return t.Coeff * phaseCoeff((4-s.LetterPhase())&3)
+}
+
+// IsHermitian reports whether every coefficient is real to within eps
+// (a Pauli-string sum is Hermitian iff all coefficients are real).
+func (h *Hamiltonian) IsHermitian(eps float64) bool {
+	for _, t := range h.terms {
+		if math.Abs(imag(t.Coeff)) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the operator product h·g expanded into Pauli terms.
+func (h *Hamiltonian) Mul(g *Hamiltonian) *Hamiltonian {
+	if h.n != g.n {
+		panic("pauli: Hamiltonian size mismatch")
+	}
+	r := NewHamiltonian(h.n)
+	for _, a := range h.terms {
+		for _, b := range g.terms {
+			r.Add(a.Coeff*b.Coeff, a.S.Mul(b.S))
+		}
+	}
+	r.Prune(1e-14)
+	return r
+}
+
+// Trace returns tr(h) / 2^n, i.e. the identity component of h.
+func (h *Hamiltonian) Trace() complex128 {
+	return h.Coeff(Identity(h.n))
+}
+
+// ExpectationOnBasis returns ⟨b|h|b⟩ for a computational-basis state given
+// as bit i of b = occupation of qubit i. Only diagonal (I/Z-only) terms
+// contribute.
+func (h *Hamiltonian) ExpectationOnBasis(b uint64) complex128 {
+	var e complex128
+	for _, t := range h.terms {
+		sign := complex128(1)
+		diag := true
+		for _, q := range t.S.Support() {
+			switch t.S.Letter(q) {
+			case Z:
+				if b>>uint(q)&1 == 1 {
+					sign = -sign
+				}
+			default:
+				diag = false
+			}
+			if !diag {
+				break
+			}
+		}
+		if diag {
+			e += t.Coeff * sign
+		}
+	}
+	return e
+}
+
+// String renders the Hamiltonian as a sum of compact terms in deterministic
+// order, e.g. "(0.5+0i)·Z1Z0 + …".
+func (h *Hamiltonian) String() string {
+	ts := h.Terms()
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprintf("(%.6g%+.6gi)·%s", real(t.Coeff), imag(t.Coeff), t.S.Compact())
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}

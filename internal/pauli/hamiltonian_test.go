@@ -1,0 +1,153 @@
+package pauli
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestHamiltonianAddMerges(t *testing.T) {
+	h := NewHamiltonian(2)
+	h.Add(0.5, MustParse("XZ"))
+	h.Add(0.25, MustParse("XZ"))
+	if h.Len() != 1 {
+		t.Fatalf("len = %d, want 1", h.Len())
+	}
+	if c := h.Coeff(MustParse("XZ")); cmplx.Abs(c-0.75) > 1e-12 {
+		t.Fatalf("coeff = %v, want 0.75", c)
+	}
+}
+
+func TestHamiltonianPhaseFolding(t *testing.T) {
+	h := NewHamiltonian(1)
+	s := MustParse("Y") // stored as (1,1) with i phase
+	h.Add(1, s)
+	if c := h.Coeff(s); cmplx.Abs(c-1) > 1e-12 {
+		t.Fatalf("coeff of Y = %v, want 1", c)
+	}
+	// Adding i·(-i·XZ form) should still merge with the letter form.
+	neg := s.Clone()
+	h.Add(-1, neg)
+	h.Prune(1e-14)
+	if h.Len() != 0 {
+		t.Fatalf("terms did not cancel: %s", h)
+	}
+}
+
+func TestHamiltonianWeight(t *testing.T) {
+	h := NewHamiltonian(4)
+	h.Add(1, MustParse("XYIZ"))   // weight 3
+	h.Add(0.5, MustParse("IIII")) // identity contributes 0
+	h.Add(2, MustParse("ZIII"))   // weight 1
+	if w := h.Weight(); w != 4 {
+		t.Fatalf("weight = %d, want 4", w)
+	}
+	if n := h.NonIdentityTerms(); n != 2 {
+		t.Fatalf("non-identity terms = %d, want 2", n)
+	}
+}
+
+func TestHamiltonianMulAgainstPaperExample(t *testing.T) {
+	// HQ = c1(X0X1)(Y0Z2) + c2(X0Y1)(Y0X2) = c1'·Z0X1Z2 + c2'·Z0Y1X2
+	// from the motivation example (Fig. 4a). Weight must be 6.
+	c1, c2 := complex(0.3, 0), complex(0.7, 0)
+	h := NewHamiltonian(3)
+	h.Add(c1, New(3, []int{0, 1}, []Letter{X, X}).Mul(New(3, []int{0, 2}, []Letter{Y, Z})))
+	h.Add(c2, New(3, []int{0, 1}, []Letter{X, Y}).Mul(New(3, []int{0, 2}, []Letter{Y, X})))
+	if h.Weight() != 6 {
+		t.Fatalf("weight = %d, want 6", h.Weight())
+	}
+	// Unbalanced tree version (Fig. 4b): c1(X0)(Y0Z1) + c2(Y0X1X2)(Y0X1Z2)
+	// = c1'·Z0Z1 + c2'·Y2 with weight 3.
+	h2 := NewHamiltonian(3)
+	h2.Add(c1, New(3, []int{0}, []Letter{X}).Mul(New(3, []int{0, 1}, []Letter{Y, Z})))
+	h2.Add(c2, New(3, []int{0, 1, 2}, []Letter{Y, X, X}).Mul(New(3, []int{0, 1, 2}, []Letter{Y, X, Z})))
+	if h2.Weight() != 3 {
+		t.Fatalf("unbalanced weight = %d, want 3", h2.Weight())
+	}
+}
+
+func TestHamiltonianHermiticity(t *testing.T) {
+	h := NewHamiltonian(2)
+	h.Add(1.5, MustParse("XZ"))
+	if !h.IsHermitian(1e-12) {
+		t.Error("real-coefficient sum should be Hermitian")
+	}
+	h.Add(complex(0, 0.5), MustParse("ZZ"))
+	if h.IsHermitian(1e-12) {
+		t.Error("imaginary coefficient should break Hermiticity")
+	}
+}
+
+func TestHamiltonianMulOperator(t *testing.T) {
+	// (X)(Z) = -iY as an operator product of Hamiltonians.
+	a := NewHamiltonian(1)
+	a.Add(1, MustParse("X"))
+	b := NewHamiltonian(1)
+	b.Add(1, MustParse("Z"))
+	p := a.Mul(b)
+	if p.Len() != 1 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	c := p.Coeff(MustParse("Y"))
+	if cmplx.Abs(c-complex(0, -1)) > 1e-12 {
+		t.Fatalf("coeff = %v, want -i", c)
+	}
+}
+
+func TestExpectationOnBasis(t *testing.T) {
+	h := NewHamiltonian(2)
+	h.Add(1, MustParse("ZI")) // Z on qubit 1
+	h.Add(2, MustParse("IZ")) // Z on qubit 0
+	h.Add(5, MustParse("XX")) // off-diagonal: no contribution
+	h.Add(3, MustParse("II"))
+	// |00⟩: 1+2+3 = 6
+	if e := h.ExpectationOnBasis(0); cmplx.Abs(e-6) > 1e-12 {
+		t.Fatalf("E(00) = %v", e)
+	}
+	// |01⟩ (qubit 0 set): 1-2+3 = 2
+	if e := h.ExpectationOnBasis(1); cmplx.Abs(e-2) > 1e-12 {
+		t.Fatalf("E(01) = %v", e)
+	}
+	// |11⟩: -1-2+3 = 0
+	if e := h.ExpectationOnBasis(3); cmplx.Abs(e) > 1e-12 {
+		t.Fatalf("E(11) = %v", e)
+	}
+}
+
+func TestTermsDeterministicOrder(t *testing.T) {
+	mk := func() *Hamiltonian {
+		h := NewHamiltonian(3)
+		r := rand.New(rand.NewSource(5))
+		for i := 0; i < 20; i++ {
+			h.Add(complex(r.Float64(), 0), randomString(r, 3))
+		}
+		return h
+	}
+	a, b := mk().Terms(), mk().Terms()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic construction")
+	}
+	for i := range a {
+		if !a[i].S.Equal(b[i].S) || a[i].Coeff != b[i].Coeff {
+			t.Fatal("Terms() order not deterministic")
+		}
+	}
+}
+
+func TestTraceAndAddHamiltonian(t *testing.T) {
+	h := NewHamiltonian(2)
+	h.Add(4, Identity(2))
+	h.Add(1, MustParse("XZ"))
+	if tr := h.Trace(); cmplx.Abs(tr-4) > 1e-12 {
+		t.Fatalf("trace = %v", tr)
+	}
+	g := NewHamiltonian(2)
+	g.AddHamiltonian(0.5, h)
+	if tr := g.Trace(); cmplx.Abs(tr-2) > 1e-12 {
+		t.Fatalf("scaled trace = %v", tr)
+	}
+	if c := g.Coeff(MustParse("XZ")); cmplx.Abs(c-0.5) > 1e-12 {
+		t.Fatalf("scaled coeff = %v", c)
+	}
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/pauli"
+)
+
+// Density is a density-matrix simulator: it evolves ρ exactly under gates
+// and depolarizing channels, giving noise-averaged expectations with no
+// Monte-Carlo shot noise. Memory is 4^N amplitudes — intended for the
+// small systems of the Fig. 10/11 experiments (N ≤ ~10).
+type Density struct {
+	N   int
+	dim int
+	Rho []complex128 // row-major dim×dim
+}
+
+// NewDensity returns ρ = |0…0⟩⟨0…0| on n qubits.
+func NewDensity(n int) *Density {
+	if n < 0 || n > 13 {
+		panic(fmt.Sprintf("sim: unsupported density qubit count %d", n))
+	}
+	dim := 1 << uint(n)
+	d := &Density{N: n, dim: dim, Rho: make([]complex128, dim*dim)}
+	d.Rho[0] = 1
+	return d
+}
+
+// FromState returns the pure-state density matrix |ψ⟩⟨ψ|.
+func FromState(s *State) *Density {
+	d := &Density{N: s.N, dim: len(s.Amp), Rho: make([]complex128, len(s.Amp)*len(s.Amp))}
+	for i := range s.Amp {
+		for j := range s.Amp {
+			d.Rho[i*d.dim+j] = s.Amp[i] * cmplx.Conj(s.Amp[j])
+		}
+	}
+	return d
+}
+
+// Trace returns tr(ρ).
+func (d *Density) Trace() complex128 {
+	var t complex128
+	for i := 0; i < d.dim; i++ {
+		t += d.Rho[i*d.dim+i]
+	}
+	return t
+}
+
+// applyGateLeft computes ρ ← Uρ for a gate (acting on row indices).
+func (d *Density) applyGateLeft(g circuit.Gate) {
+	switch g.Kind {
+	case circuit.KindSingle:
+		stride := 1 << uint(g.Q)
+		for base := 0; base < d.dim; base += stride * 2 {
+			for i := base; i < base+stride; i++ {
+				r0, r1 := i*d.dim, (i+stride)*d.dim
+				for c := 0; c < d.dim; c++ {
+					a, b := d.Rho[r0+c], d.Rho[r1+c]
+					d.Rho[r0+c] = g.M[0][0]*a + g.M[0][1]*b
+					d.Rho[r1+c] = g.M[1][0]*a + g.M[1][1]*b
+				}
+			}
+		}
+	case circuit.KindCNOT:
+		cm := 1 << uint(g.Q2)
+		tm := 1 << uint(g.Q)
+		for i := 0; i < d.dim; i++ {
+			if i&cm != 0 && i&tm == 0 {
+				r0, r1 := i*d.dim, (i|tm)*d.dim
+				for c := 0; c < d.dim; c++ {
+					d.Rho[r0+c], d.Rho[r1+c] = d.Rho[r1+c], d.Rho[r0+c]
+				}
+			}
+		}
+	}
+}
+
+// applyGateRight computes ρ ← ρU† (acting on column indices).
+func (d *Density) applyGateRight(g circuit.Gate) {
+	switch g.Kind {
+	case circuit.KindSingle:
+		// (ρU†)_{rc} = Σ_k ρ_{rk} conj(U_{ck}).
+		stride := 1 << uint(g.Q)
+		for r := 0; r < d.dim; r++ {
+			row := r * d.dim
+			for base := 0; base < d.dim; base += stride * 2 {
+				for c := base; c < base+stride; c++ {
+					a, b := d.Rho[row+c], d.Rho[row+c+stride]
+					d.Rho[row+c] = a*cmplx.Conj(g.M[0][0]) + b*cmplx.Conj(g.M[0][1])
+					d.Rho[row+c+stride] = a*cmplx.Conj(g.M[1][0]) + b*cmplx.Conj(g.M[1][1])
+				}
+			}
+		}
+	case circuit.KindCNOT:
+		cm := 1 << uint(g.Q2)
+		tm := 1 << uint(g.Q)
+		for r := 0; r < d.dim; r++ {
+			row := r * d.dim
+			for c := 0; c < d.dim; c++ {
+				if c&cm != 0 && c&tm == 0 {
+					d.Rho[row+c], d.Rho[row+(c|tm)] = d.Rho[row+(c|tm)], d.Rho[row+c]
+				}
+			}
+		}
+	}
+}
+
+// ApplyGate conjugates ρ ← UρU†.
+func (d *Density) ApplyGate(g circuit.Gate) {
+	d.applyGateLeft(g)
+	d.applyGateRight(g)
+}
+
+// conjugatePauli computes ρ ← PρP† for a Hermitian Pauli string.
+func (d *Density) conjugatePauli(p pauli.String) {
+	d.pauliLeft(p)
+	d.pauliRight(p)
+}
+
+func pauliAction(p pauli.String) (flip int, phase func(i int) complex128) {
+	sup := p.Support()
+	var f int
+	for _, q := range sup {
+		if l := p.Letter(q); l == pauli.X || l == pauli.Y {
+			f |= 1 << uint(q)
+		}
+	}
+	coeff := p.LetterCoeff()
+	return f, func(i int) complex128 {
+		amp := coeff
+		for _, q := range sup {
+			bit := i >> uint(q) & 1
+			switch p.Letter(q) {
+			case pauli.Z:
+				if bit == 1 {
+					amp = -amp
+				}
+			case pauli.Y:
+				if bit == 0 {
+					amp *= complex(0, 1)
+				} else {
+					amp *= complex(0, -1)
+				}
+			}
+		}
+		return amp
+	}
+}
+
+func (d *Density) pauliLeft(p pauli.String) {
+	flip, phase := pauliAction(p)
+	out := make([]complex128, len(d.Rho))
+	for i := 0; i < d.dim; i++ {
+		ph := phase(i)
+		src, dst := i*d.dim, (i^flip)*d.dim
+		for c := 0; c < d.dim; c++ {
+			out[dst+c] = ph * d.Rho[src+c]
+		}
+	}
+	d.Rho = out
+}
+
+func (d *Density) pauliRight(p pauli.String) {
+	flip, phase := pauliAction(p)
+	out := make([]complex128, len(d.Rho))
+	for c := 0; c < d.dim; c++ {
+		ph := cmplx.Conj(phase(c))
+		for r := 0; r < d.dim; r++ {
+			out[r*d.dim+(c^flip)] = d.Rho[r*d.dim+c] * ph
+		}
+	}
+	d.Rho = out
+}
+
+// Depolarize1 applies the single-qubit depolarizing channel on qubit q:
+// ρ ← (1−p)ρ + p/3·(XρX + YρY + ZρZ).
+func (d *Density) Depolarize1(q int, p float64) {
+	if p <= 0 {
+		return
+	}
+	orig := append([]complex128{}, d.Rho...)
+	acc := make([]complex128, len(d.Rho))
+	for _, l := range []pauli.Letter{pauli.X, pauli.Y, pauli.Z} {
+		ps := pauli.Identity(d.N)
+		ps.SetLetter(q, l)
+		d.Rho = append([]complex128{}, orig...)
+		d.conjugatePauli(ps)
+		for i := range acc {
+			acc[i] += d.Rho[i]
+		}
+	}
+	for i := range d.Rho {
+		d.Rho[i] = complex(1-p, 0)*orig[i] + complex(p/3, 0)*acc[i]
+	}
+}
+
+// Depolarize2 applies the two-qubit depolarizing channel on qubits a, b:
+// ρ ← (1−p)ρ + p/15·Σ_{P≠II} PρP.
+func (d *Density) Depolarize2(a, b int, p float64) {
+	if p <= 0 {
+		return
+	}
+	orig := append([]complex128{}, d.Rho...)
+	acc := make([]complex128, len(d.Rho))
+	letters := []pauli.Letter{pauli.I, pauli.X, pauli.Y, pauli.Z}
+	for _, la := range letters {
+		for _, lb := range letters {
+			if la == pauli.I && lb == pauli.I {
+				continue
+			}
+			ps := pauli.Identity(d.N)
+			if la != pauli.I {
+				ps.SetLetter(a, la)
+			}
+			if lb != pauli.I {
+				ps.SetLetter(b, lb)
+			}
+			d.Rho = append([]complex128{}, orig...)
+			d.conjugatePauli(ps)
+			for i := range acc {
+				acc[i] += d.Rho[i]
+			}
+		}
+	}
+	for i := range d.Rho {
+		d.Rho[i] = complex(1-p, 0)*orig[i] + complex(p/15, 0)*acc[i]
+	}
+}
+
+// ApplyNoisyCircuit runs the circuit with the depolarizing channels of the
+// noise model applied exactly after every gate.
+func (d *Density) ApplyNoisyCircuit(c *circuit.Circuit, nm NoiseModel) {
+	if c.N != d.N {
+		panic("sim: circuit/density size mismatch")
+	}
+	for _, g := range c.Gates {
+		d.ApplyGate(g)
+		switch g.Kind {
+		case circuit.KindSingle:
+			d.Depolarize1(g.Q, nm.P1)
+		case circuit.KindCNOT:
+			d.Depolarize2(g.Q, g.Q2, nm.P2)
+		}
+	}
+}
+
+// ExpectationString returns tr(ρ·P).
+func (d *Density) ExpectationString(p pauli.String) complex128 {
+	flip, phase := pauliAction(p)
+	var e complex128
+	for i := 0; i < d.dim; i++ {
+		e += phase(i) * d.Rho[i*d.dim+(i^flip)]
+	}
+	return e
+}
+
+// Expectation returns tr(ρ·H), the exact noise-averaged energy.
+func (d *Density) Expectation(h *pauli.Hamiltonian) float64 {
+	e := 0.0
+	for _, t := range h.Terms() {
+		e += real(t.Coeff * d.ExpectationString(t.S))
+	}
+	return e
+}
+
+// ExactNoisyEnergy runs the circuit from |0…0⟩ (or init if non-nil) under
+// the exact depolarizing channel and returns tr(ρH): the infinite-shot
+// limit of Estimate's mean (readout error excluded).
+func ExactNoisyEnergy(init *State, c *circuit.Circuit, h *pauli.Hamiltonian, nm NoiseModel) float64 {
+	var d *Density
+	if init != nil {
+		d = FromState(init)
+	} else {
+		d = NewDensity(c.N)
+	}
+	d.ApplyNoisyCircuit(c, nm)
+	return d.Expectation(h)
+}

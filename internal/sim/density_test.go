@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/pauli"
+)
+
+func TestDensityPureStateAgreesWithStateVector(t *testing.T) {
+	h := pauli.NewHamiltonian(3)
+	h.Add(0.5, pauli.MustParse("XYZ"))
+	h.Add(-0.3, pauli.MustParse("ZZI"))
+	h.Add(0.8, pauli.MustParse("IXX"))
+	c := circuit.Compile(h, circuit.OrderLexicographic)
+
+	s := NewState(3)
+	s.ApplyCircuit(c)
+	d := NewDensity(3)
+	for _, g := range c.Gates {
+		d.ApplyGate(g)
+	}
+	if tr := d.Trace(); cmplx.Abs(tr-1) > 1e-10 {
+		t.Fatalf("trace = %v", tr)
+	}
+	for _, p := range []string{"ZII", "XYZ", "IXX", "YIZ"} {
+		ps := pauli.MustParse(p)
+		ev := s.ExpectationString(ps)
+		ed := d.ExpectationString(ps)
+		if cmplx.Abs(ev-ed) > 1e-9 {
+			t.Errorf("⟨%s⟩: state %v vs density %v", p, ev, ed)
+		}
+	}
+	if math.Abs(s.Expectation(h)-d.Expectation(h)) > 1e-9 {
+		t.Error("energies differ between simulators")
+	}
+}
+
+func TestFromState(t *testing.T) {
+	s := NewState(2)
+	s.ApplyGate(circuit.H(0))
+	s.ApplyGate(circuit.CNOT(0, 1))
+	d := FromState(s)
+	if cmplx.Abs(d.Trace()-1) > 1e-12 {
+		t.Fatalf("trace = %v", d.Trace())
+	}
+	if e := d.ExpectationString(pauli.MustParse("XX")); cmplx.Abs(e-1) > 1e-10 {
+		t.Errorf("Bell ⟨XX⟩ = %v", e)
+	}
+}
+
+func TestDepolarize1FullyMixes(t *testing.T) {
+	// p = 3/4 single-qubit depolarizing is the completely depolarizing
+	// channel: ⟨Z⟩ → (1 − 4p/3)·⟨Z⟩ = 0.
+	d := NewDensity(1)
+	d.Depolarize1(0, 0.75)
+	if e := d.ExpectationString(pauli.MustParse("Z")); cmplx.Abs(e) > 1e-10 {
+		t.Errorf("⟨Z⟩ = %v after full depolarization", e)
+	}
+	if tr := d.Trace(); cmplx.Abs(tr-1) > 1e-10 {
+		t.Errorf("channel not trace preserving: %v", tr)
+	}
+}
+
+func TestDepolarize1ShrinksBlochVector(t *testing.T) {
+	// ⟨Z⟩ shrinks by exactly (1 − 4p/3).
+	p := 0.3
+	d := NewDensity(1)
+	d.Depolarize1(0, p)
+	want := 1 - 4*p/3
+	if e := real(d.ExpectationString(pauli.MustParse("Z"))); math.Abs(e-want) > 1e-10 {
+		t.Errorf("⟨Z⟩ = %v, want %v", e, want)
+	}
+}
+
+func TestDepolarize2TracePreservingAndShrinking(t *testing.T) {
+	s := NewState(2)
+	s.ApplyGate(circuit.H(0))
+	s.ApplyGate(circuit.CNOT(0, 1))
+	d := FromState(s)
+	d.Depolarize2(0, 1, 0.2)
+	if tr := d.Trace(); cmplx.Abs(tr-1) > 1e-10 {
+		t.Fatalf("trace = %v", tr)
+	}
+	// ⟨XX⟩ shrinks by (1 − 16p/15) under two-qubit depolarizing.
+	want := 1 - 16*0.2/15
+	if e := real(d.ExpectationString(pauli.MustParse("XX"))); math.Abs(e-want) > 1e-10 {
+		t.Errorf("⟨XX⟩ = %v, want %v", e, want)
+	}
+}
+
+func TestExactNoisyEnergyMatchesTrajectoryAverage(t *testing.T) {
+	// The density-matrix result is the infinite-shot limit of the
+	// Monte-Carlo trajectory estimate (without readout error): with many
+	// trajectories they must agree within sampling error.
+	h := pauli.NewHamiltonian(2)
+	h.Add(1, pauli.MustParse("ZZ"))
+	h.Add(0.5, pauli.MustParse("XI"))
+	c := circuit.Compile(h, circuit.OrderLexicographic)
+	nm := NoiseModel{P1: 0.02, P2: 0.05}
+	exact := ExactNoisyEnergy(nil, c, h, nm)
+
+	r := rand.New(rand.NewSource(12))
+	sum := 0.0
+	const traj = 6000
+	for i := 0; i < traj; i++ {
+		st := NewState(2)
+		st.Trajectory(c, nm, r)
+		sum += st.Expectation(h)
+	}
+	mc := sum / traj
+	if math.Abs(exact-mc) > 0.02 {
+		t.Errorf("density %v vs Monte-Carlo %v", exact, mc)
+	}
+}
+
+func TestExactNoisyEnergyZeroNoiseIsIdeal(t *testing.T) {
+	h := pauli.NewHamiltonian(2)
+	h.Add(0.7, pauli.MustParse("ZI"))
+	h.Add(0.2, pauli.MustParse("XX"))
+	c := circuit.Compile(h, circuit.OrderLexicographic)
+	s := NewState(2)
+	s.ApplyCircuit(c)
+	want := s.Expectation(h)
+	got := ExactNoisyEnergy(nil, c, h, NoiseModel{})
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("zero-noise density energy %v vs %v", got, want)
+	}
+}
+
+func TestDensityNoiseMonotone(t *testing.T) {
+	// More noise ⇒ energy closer to the maximally-mixed value (0 for a
+	// traceless H).
+	h := pauli.NewHamiltonian(2)
+	h.Add(1, pauli.MustParse("ZZ"))
+	c := circuit.New(2)
+	for i := 0; i < 10; i++ {
+		c.Append(circuit.CNOT(0, 1))
+	}
+	prev := 1.0
+	for _, p := range []float64{0.01, 0.05, 0.2} {
+		e := ExactNoisyEnergy(nil, c, h, NoiseModel{P2: p})
+		if e >= prev {
+			t.Errorf("p=%v: energy %v did not shrink from %v", p, e, prev)
+		}
+		prev = e
+	}
+}
