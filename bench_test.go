@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/pauli"
 	"repro/internal/sim"
 	"repro/internal/taper"
+	"repro/pkg/compiler"
 )
 
 // benchOptions keeps the testing.B experiments at smoke scale.
@@ -147,6 +149,39 @@ func BenchmarkHATTConstruction4x4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if core.Build(mh).PredictedWeight <= 0 {
 			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkCompilerCompileHATT3x3(b *testing.B) {
+	// End-to-end facade path over the same workload as
+	// BenchmarkHATTConstruction3x3: the delta between the two is the
+	// registry + options + boundary overhead of pkg/compiler.
+	mh := models.FermiHubbard(3, 3, 1, 4).Majorana(1e-12)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := compiler.Compile(ctx, "hatt", mh)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkCompilerPipelineH2(b *testing.B) {
+	// Full pipeline: model build, Majorana expansion, mapping, synthesis,
+	// and metrics in one facade call.
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		rep, err := compiler.Pipeline{Model: "h2", Method: "hatt"}.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.CNOTs <= 0 {
+			b.Fatal("bad circuit")
 		}
 	}
 }

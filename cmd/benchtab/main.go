@@ -12,16 +12,23 @@
 //	benchtab -figure 11        # IonQ Forte-1 noise profile study
 //	benchtab -figure 12        # scalability curves
 //	benchtab -all              # everything
+//	benchtab -list             # the pkg/compiler methods the tables use
 //
 // Scale knobs: -max-modes, -shots, -grid, -fh-modes, -fh-budget, -max-n.
+//
+// Mapping construction inside every table goes through the pkg/compiler
+// registry, so the columns stay in lockstep with what `hattc -list`
+// reports.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
+	"repro/pkg/compiler"
 )
 
 func main() {
@@ -38,7 +45,15 @@ func main() {
 	ablation := flag.String("ablation", "", "run an ablation study: beam | ordering | cache | tiebreak")
 	summary := flag.Bool("summary", false, "print the headline HATT-vs-baseline reductions across Tables I-III")
 	exact := flag.Bool("exact", false, "figure 10: use the density-matrix simulator (exact bias, no shots)")
+	list := flag.Bool("list", false, "list the compiler methods the tables draw from and exit")
 	flag.Parse()
+
+	if *list {
+		// The tables compile every mapping through pkg/compiler; this is
+		// the registry they resolve against.
+		fmt.Println(strings.Join(compiler.Methods(), "\n"))
+		return
+	}
 
 	opt := bench.DefaultOptions()
 	opt.MaxModes = *maxModes

@@ -1,7 +1,8 @@
 // Command hattc is the HATT compiler CLI: it builds a benchmark fermionic
 // Hamiltonian, compiles a fermion-to-qubit mapping with the selected
 // method, and reports the Majorana strings, Pauli weight, and simulation
-// circuit metrics.
+// circuit metrics. It is a thin shell over pkg/compiler — every method it
+// accepts is whatever the compiler registry exposes.
 //
 // Usage examples:
 //
@@ -10,198 +11,163 @@
 //	hattc -model neutrino:4x2 -mapping btt
 //	hattc -model molecule:12 -mapping hatt -compare
 //	hattc -model hubbard:2x2 -mapping fh -fh-budget 2000000
+//	hattc -model hubbard:3x3 -mapping anneal -timeout 5s -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
-	"repro/internal/circuit"
-	"repro/internal/core"
 	"repro/internal/fermion"
-	"repro/internal/linalg"
-	"repro/internal/mapping"
 	"repro/internal/models"
-	"repro/internal/taper"
+	"repro/pkg/compiler"
 )
 
 func main() {
-	model := flag.String("model", "h2", "h2 | molecule:<modes> | hubbard:<R>x<C> | neutrino:<N>x<F>")
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hattc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	model := flag.String("model", "h2", "model spec: "+models.SpecHelp)
 	input := flag.String("input", "", "read the fermionic Hamiltonian from a JSON file instead of -model")
-	method := flag.String("mapping", "hatt", "jw | bk | btt | parity | hatt | hatt-unopt | beam:<width> | fh | anneal")
+	method := flag.String("mapping", "hatt", "mapping method spec: "+strings.Join(compiler.Methods(), " | ")+" (beam:<width>, fh:<budget>)")
 	showStrings := flag.Bool("strings", false, "print the Majorana Pauli strings")
 	compare := flag.Bool("compare", false, "compare all mappings on this model")
 	fhBudget := flag.Int64("fh-budget", 2_000_000, "exhaustive search visit budget for -mapping fh")
 	trotter := flag.Int("trotter", 1, "Trotter steps for the compiled circuit")
+	order := flag.String("order", "lex", "Trotter term order: natural | lex | greedy")
 	qasmOut := flag.String("qasm", "", "write the compiled circuit as OpenQASM 2.0 to this file ('-' for stdout)")
 	doTaper := flag.Bool("taper", false, "additionally report the Z2-tapered Hamiltonian (small systems only)")
+	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
+	progress := flag.Bool("progress", false, "print search progress to stderr")
+	list := flag.Bool("list", false, "list the registered mapping methods and exit")
 	flag.Parse()
 
-	var h *fermion.Hamiltonian
-	var err error
-	if *input != "" {
-		f, ferr := os.Open(*input)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "hattc:", ferr)
-			os.Exit(1)
+	if *list {
+		for _, name := range compiler.Methods() {
+			fmt.Println(name)
 		}
-		h, err = fermion.ReadJSON(f)
-		f.Close()
-		*model = *input
-	} else {
-		h, err = buildModel(*model)
+		return nil
 	}
+
+	ord, err := parseOrderOption(*order)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hattc:", err)
-		os.Exit(1)
+		return err
 	}
-	mh := h.Majorana(1e-12)
-	fmt.Printf("model %s: %d modes, %d second-quantized terms, %d Majorana monomials\n",
-		*model, h.Modes, h.NumTerms(), len(mh.Terms))
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []compiler.Option{
+		compiler.WithVisitBudget(*fhBudget),
+		compiler.WithTrotterSteps(*trotter),
+		ord,
+	}
+	if *progress {
+		opts = append(opts, compiler.WithProgress(func(ev compiler.ProgressEvent) {
+			if ev.Stage == compiler.StageSearch {
+				fmt.Fprintf(os.Stderr, "hattc: %s %d/%d best=%d\n", ev.Method, ev.Step, ev.Total, ev.BestWeight)
+			}
+		}))
+	}
+
+	pipe := compiler.Pipeline{Model: *model, Taper: *doTaper, Options: opts}
+	if *input != "" {
+		h, err := readInput(*input)
+		if err != nil {
+			return err
+		}
+		pipe.Model = *input
+		pipe.Hamiltonian = h
+	}
 
 	if *compare {
-		for _, name := range []string{"jw", "bk", "parity", "btt", "hatt-unopt", "hatt"} {
-			m, err := buildMapping(name, h.Modes, mh, *fhBudget)
+		for i, spec := range []string{"jw", "bk", "parity", "btt", "hatt-unopt", "hatt"} {
+			p := pipe
+			p.Method = spec
+			p.Taper = false
+			rep, err := p.Run(ctx)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "hattc:", err)
-				os.Exit(1)
+				return err
 			}
-			report(m, mh, *trotter, false, "")
+			if i == 0 {
+				fmt.Printf("model %s: %d modes, %d second-quantized terms, %d Majorana monomials\n",
+					rep.Model, rep.Modes, rep.FermionTerms, rep.MajoranaTerms)
+			}
+			if err := report(rep, false, ""); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	m, err := buildMapping(*method, h.Modes, mh, *fhBudget)
+
+	pipe.Method = *method
+	rep, err := pipe.Run(ctx)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hattc:", err)
-		os.Exit(1)
+		return err
 	}
-	report(m, mh, *trotter, *showStrings, *qasmOut)
-	if *doTaper {
-		if m.Qubits() > 12 {
-			fmt.Fprintln(os.Stderr, "hattc: -taper limited to ≤ 12 qubits (needs the dense eigensolver)")
-			os.Exit(1)
-		}
-		hq := m.Apply(mh)
-		res, e, err := taper.GroundSector(hq, linalg.GroundEnergy)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hattc: tapering failed:", err)
-			os.Exit(1)
-		}
-		cc := circuit.Compile(res.Reduced, circuit.OrderLexicographic)
-		fmt.Printf("tapered     qubits=%d  pauli-weight=%-8d cnot=%-8d depth=%-8d E0=%.6f (%d symmetries)\n",
-			res.Reduced.N(), res.Reduced.Weight(), cc.CNOTCount(), cc.Depth(), e, len(res.Symmetries))
+	fmt.Printf("model %s: %d modes, %d second-quantized terms, %d Majorana monomials\n",
+		rep.Model, rep.Modes, rep.FermionTerms, rep.MajoranaTerms)
+	if rep.Result.Method == "fh" && !rep.Result.Optimal {
+		fmt.Println("note: FH search hit its visit budget; result is approximate (*)")
 	}
+	return report(rep, *showStrings, *qasmOut)
 }
 
-func buildModel(spec string) (*fermion.Hamiltonian, error) {
-	switch {
-	case spec == "h2":
-		return models.H2STO3G(), nil
-	case strings.HasPrefix(spec, "molecule:"):
-		modes, err := strconv.Atoi(spec[len("molecule:"):])
-		if err != nil || modes < 2 || modes%2 != 0 {
-			return nil, fmt.Errorf("bad molecule spec %q (want molecule:<even modes>)", spec)
-		}
-		return models.SyntheticMolecule("synthetic", modes, 100+int64(modes), 0.4), nil
-	case strings.HasPrefix(spec, "hubbard:"):
-		r, c, err := parsePair(spec[len("hubbard:"):])
-		if err != nil {
-			return nil, fmt.Errorf("bad hubbard spec %q: %v", spec, err)
-		}
-		return models.FermiHubbard(r, c, 1.0, 4.0), nil
-	case strings.HasPrefix(spec, "neutrino:"):
-		n, f, err := parsePair(spec[len("neutrino:"):])
-		if err != nil {
-			return nil, fmt.Errorf("bad neutrino spec %q: %v", spec, err)
-		}
-		return models.NeutrinoOscillation(n, f, 1.0), nil
-	}
-	return nil, fmt.Errorf("unknown model %q", spec)
-}
-
-func parsePair(s string) (int, int, error) {
-	parts := strings.SplitN(s, "x", 2)
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("want <A>x<B>")
-	}
-	a, err := strconv.Atoi(parts[0])
+func readInput(path string) (*fermion.Hamiltonian, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	b, err := strconv.Atoi(parts[1])
+	defer f.Close()
+	return fermion.ReadJSON(f)
+}
+
+func parseOrderOption(spec string) (compiler.Option, error) {
+	ord, err := compiler.ParseTermOrder(spec)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	return a, b, nil
+	return compiler.WithTermOrder(ord), nil
 }
 
-func buildMapping(name string, n int, mh *fermion.MajoranaHamiltonian, fhBudget int64) (*mapping.Mapping, error) {
-	switch name {
-	case "jw":
-		return mapping.JordanWigner(n), nil
-	case "bk":
-		return mapping.BravyiKitaev(n), nil
-	case "btt":
-		return mapping.BalancedTernaryTree(n), nil
-	case "parity":
-		return mapping.Parity(n), nil
-	case "hatt":
-		return core.Build(mh).Mapping, nil
-	case "hatt-unopt":
-		return core.BuildUnopt(mh).Mapping, nil
-	case "fh":
-		res := core.Exhaustive(mh, fhBudget)
-		if !res.Optimal {
-			fmt.Println("note: FH search hit its visit budget; result is approximate (*)")
-		}
-		return res.Mapping, nil
-	case "anneal":
-		return core.Anneal(mh, core.AnnealOptions{}).Mapping, nil
-	}
-	if strings.HasPrefix(name, "beam:") {
-		width, err := strconv.Atoi(name[len("beam:"):])
-		if err != nil || width < 1 {
-			return nil, fmt.Errorf("bad beam width in %q", name)
-		}
-		return core.BuildBeam(mh, width).Mapping, nil
-	}
-	return nil, fmt.Errorf("unknown mapping %q", name)
-}
-
-func report(m *mapping.Mapping, mh *fermion.MajoranaHamiltonian, trotter int, showStrings bool, qasmOut string) {
-	if err := m.VerifyIndependent(); err != nil {
-		fmt.Fprintln(os.Stderr, "hattc: mapping failed verification:", err)
-		os.Exit(1)
-	}
-	hq := m.Apply(mh)
-	cc := circuit.Optimize(circuit.SynthesizeTrotter(hq, 1.0, trotter, circuit.OrderLexicographic))
+func report(rep *compiler.Report, showStrings bool, qasmOut string) error {
+	m := rep.Result.Mapping
 	fmt.Printf("%-11s qubits=%d  pauli-weight=%-8d terms=%-7d cnot=%-8d u3=%-8d depth=%-8d vacuum=%v\n",
-		m.Name, m.Qubits(), hq.Weight(), hq.NonIdentityTerms(),
-		cc.CNOTCount(), cc.SingleCount(), cc.Depth(), m.VacuumPreserved())
+		m.Name, m.Qubits(), rep.Weight, rep.Terms,
+		rep.CNOTs, rep.Singles, rep.Depth, rep.VacuumPreserved)
 	if showStrings {
 		for j, s := range m.Majoranas {
 			fmt.Printf("  M%-3d = %s\n", j, s)
 		}
 	}
+	if t := rep.Tapered; t != nil {
+		fmt.Printf("tapered     qubits=%d  pauli-weight=%-8d cnot=%-8d depth=%-8d E0=%.6f (%d symmetries)\n",
+			t.Qubits, t.Weight, t.CNOTs, t.Depth, t.GroundEnergy, t.Symmetries)
+	}
 	if qasmOut != "" {
-		var w *os.File
-		if qasmOut == "-" {
-			w = os.Stdout
-		} else {
+		w := os.Stdout
+		if qasmOut != "-" {
 			f, err := os.Create(qasmOut)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "hattc:", err)
-				os.Exit(1)
+				return err
 			}
 			defer f.Close()
 			w = f
 		}
-		if err := cc.WriteQASM(w); err != nil {
-			fmt.Fprintln(os.Stderr, "hattc:", err)
-			os.Exit(1)
+		if err := rep.Circuit.WriteQASM(w); err != nil {
+			return err
 		}
 	}
+	return nil
 }

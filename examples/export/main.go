@@ -1,17 +1,18 @@
 // Export: compile a HATT-mapped Trotter circuit and hand it to the rest of
 // the toolchain world — OpenQASM 2.0 for transpilers and hardware, the
 // JSON Hamiltonian schema for interchange, and a text diagram for humans.
+// The circuit comes straight out of a compiler.Pipeline report.
 //
 //	go run ./examples/export
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"repro/internal/circuit"
-	"repro/internal/core"
 	"repro/internal/fermion"
+	"repro/pkg/compiler"
 )
 
 func main() {
@@ -29,16 +30,16 @@ func main() {
 	}
 	fmt.Println()
 
-	mh := h.Majorana(1e-12)
-	res := core.Build(mh)
-	hq := res.Mapping.Apply(mh)
-	cc := circuit.Compile(hq, circuit.OrderLexicographic)
+	rep, err := compiler.Pipeline{Hamiltonian: h, Method: "hatt"}.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("\n--- Circuit diagram ---")
-	fmt.Print(cc.Diagram())
+	fmt.Print(rep.Circuit.Diagram())
 
 	fmt.Println("--- OpenQASM 2.0 ---")
-	if err := cc.WriteQASM(os.Stdout); err != nil {
+	if err := rep.Circuit.WriteQASM(os.Stdout); err != nil {
 		panic(err)
 	}
 }

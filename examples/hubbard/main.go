@@ -1,38 +1,47 @@
 // Fermi–Hubbard study: sweep lattice geometries and compare the Pauli
 // weight and circuit cost of every mapping, reproducing the Table II
-// trend lines on the small-to-medium lattices.
+// trend lines on the small-to-medium lattices. Each mapping is compiled
+// through the pkg/compiler registry by spec name.
 //
 //	go run ./examples/hubbard
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
-	"repro/internal/core"
-	"repro/internal/mapping"
 	"repro/internal/models"
+	"repro/pkg/compiler"
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("Fermi-Hubbard model (t=1, U=4), open boundaries")
 	fmt.Printf("%-6s %-6s | %8s %8s %8s %8s | %s\n",
 		"grid", "modes", "JW", "BK", "BTT", "HATT", "HATT circuit (CX/depth)")
 	for _, g := range [][2]int{{2, 2}, {2, 3}, {2, 4}, {3, 3}, {2, 5}, {3, 4}} {
 		h := models.FermiHubbard(g[0], g[1], 1.0, 4.0)
 		mh := h.Majorana(1e-12)
-		n := h.Modes
-		jw := mapping.JordanWigner(n).Apply(mh).Weight()
-		bk := mapping.BravyiKitaev(n).Apply(mh).Weight()
-		btt := mapping.BalancedTernaryTree(n).Apply(mh).Weight()
-		res := core.Build(mh)
+		weights := make(map[string]int)
+		for _, spec := range []string{"jw", "bk", "btt"} {
+			res, err := compiler.Compile(ctx, spec, mh)
+			if err != nil {
+				panic(err)
+			}
+			weights[spec] = res.PredictedWeight
+		}
+		res, err := compiler.Compile(ctx, "hatt", mh)
+		if err != nil {
+			panic(err)
+		}
 		if err := res.Mapping.Verify(); err != nil {
 			panic(err)
 		}
 		cc := circuit.Compile(res.Mapping.Apply(mh), circuit.OrderLexicographic)
 		fmt.Printf("%dx%-4d %-6d | %8d %8d %8d %8d | %d/%d\n",
-			g[0], g[1], n, jw, bk, btt, res.PredictedWeight,
-			cc.CNOTCount(), cc.Depth())
+			g[0], g[1], h.Modes, weights["jw"], weights["bk"], weights["btt"],
+			res.PredictedWeight, cc.CNOTCount(), cc.Depth())
 	}
 	fmt.Println("\nLower is better; HATT adapts the ternary tree to the lattice structure.")
 }

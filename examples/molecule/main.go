@@ -1,50 +1,57 @@
 // Molecule walkthrough: the full H₂/STO-3G pipeline — published integrals,
-// every mapping, circuit compilation, exact ground energy, and a noisy
-// simulation with the IonQ Forte 1 noise profile (the Fig. 11 experiment).
+// every mapping compiled through pkg/compiler, circuit compilation, exact
+// ground energy, and a noisy simulation with the IonQ Forte 1 noise
+// profile (the Fig. 11 experiment).
 //
 //	go run ./examples/molecule
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
-	"repro/internal/core"
 	"repro/internal/linalg"
-	"repro/internal/mapping"
 	"repro/internal/models"
 	"repro/internal/sim"
+	"repro/pkg/compiler"
 )
 
 func main() {
+	ctx := context.Background()
 	h := models.H2STO3G()
 	mh := h.Majorana(1e-12)
 	fmt.Printf("H2/STO-3G: %d spin-orbitals, %d Majorana monomials\n", h.Modes, len(mh.Terms))
 
-	theory := linalg.GroundEnergy(mapping.JordanWigner(4).Apply(mh))
+	jw, err := compiler.Compile(ctx, "jw", mh)
+	if err != nil {
+		panic(err)
+	}
+	theory := linalg.GroundEnergy(jw.Mapping.Apply(mh))
 	fmt.Printf("FCI ground-state energy: %.6f Ha (literature: -1.1373 Ha)\n\n", theory)
 
-	maps := []*mapping.Mapping{
-		mapping.JordanWigner(4),
-		mapping.BravyiKitaev(4),
-		mapping.BalancedTernaryTree(4),
-		core.Exhaustive(mh, 0).Mapping, // small enough for the true optimum
-		core.Build(mh).Mapping,
-	}
+	// "fh:0" lifts the visit budget: H2 is small enough for the true
+	// optimum.
+	specs := []string{"jw", "bk", "btt", "fh:0", "hatt"}
 	nm := sim.IonQForte1()
 	fmt.Printf("%-6s %7s %6s %6s | %10s %10s %10s\n",
 		"map", "weight", "CX", "depth", "noiseless", "mean", "variance")
-	for _, m := range maps {
+	for _, spec := range specs {
+		res, err := compiler.Compile(ctx, spec, mh)
+		if err != nil {
+			panic(err)
+		}
+		m := res.Mapping
 		hq := m.Apply(mh)
 		cc := circuit.Compile(hq, circuit.OrderLexicographic)
 		init, err := sim.PrepareOccupied(m, []int{0, 1}) // Hartree–Fock state
 		if err != nil {
 			panic(err)
 		}
-		res := sim.EstimateFrom(init, cc, hq, nm, 1000, 7)
+		sr := sim.EstimateFrom(init, cc, hq, nm, 1000, 7)
 		fmt.Printf("%-6s %7d %6d %6d | %10.4f %10.4f %10.4f\n",
 			m.Name, hq.Weight(), cc.CNOTCount(), cc.Depth(),
-			res.Ideal, res.Mean, res.Variance)
+			sr.Ideal, sr.Mean, sr.Variance)
 	}
 	fmt.Println("\nLower-weight mappings run shallower circuits and degrade less under noise.")
 }

@@ -2,36 +2,46 @@
 // Hamiltonians of §V-A3 are dense with quartic couplings, which is where
 // Hamiltonian-adaptive mappings gain the most; this example reproduces the
 // Table III trend on the smaller lattices and reports HATT's construction
-// time to illustrate the O(N³) scaling.
+// time to illustrate the O(N³) scaling. Every mapping is compiled through
+// the pkg/compiler facade.
 //
 //	go run ./examples/neutrino
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/mapping"
 	"repro/internal/models"
+	"repro/pkg/compiler"
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("Collective neutrino oscillations (µ=1), 2 directions per site/flavor")
 	fmt.Printf("%-7s %-6s %-7s | %9s %9s %9s %9s | %12s\n",
 		"lattice", "modes", "terms", "JW", "BK", "BTT", "HATT", "HATT time")
 	for _, spec := range [][2]int{{3, 2}, {4, 2}, {3, 3}, {5, 2}} {
 		h := models.NeutrinoOscillation(spec[0], spec[1], 1.0)
 		mh := h.Majorana(1e-12)
-		n := h.Modes
-		jw := mapping.JordanWigner(n).Apply(mh).Weight()
-		bk := mapping.BravyiKitaev(n).Apply(mh).Weight()
-		btt := mapping.BalancedTernaryTree(n).Apply(mh).Weight()
+		weights := make(map[string]int)
+		for _, name := range []string{"jw", "bk", "btt"} {
+			res, err := compiler.Compile(ctx, name, mh)
+			if err != nil {
+				panic(err)
+			}
+			weights[name] = res.PredictedWeight
+		}
 		t0 := time.Now()
-		res := core.Build(mh)
+		res, err := compiler.Compile(ctx, "hatt", mh)
+		if err != nil {
+			panic(err)
+		}
 		dt := time.Since(t0)
 		fmt.Printf("%dx%dF    %-6d %-7d | %9d %9d %9d %9d | %12s\n",
-			spec[0], spec[1], n, len(mh.Terms), jw, bk, btt, res.PredictedWeight, dt)
+			spec[0], spec[1], h.Modes, len(mh.Terms),
+			weights["jw"], weights["bk"], weights["btt"], res.PredictedWeight, dt)
 	}
 	fmt.Println("\nHATT exploits the momentum-conserving coupling structure the")
 	fmt.Println("constructive mappings cannot see.")

@@ -1,17 +1,17 @@
 // Quickstart: build a small fermionic Hamiltonian, compile a
-// Hamiltonian-adaptive ternary tree (HATT) fermion-to-qubit mapping, and
-// compare it against Jordan–Wigner.
+// Hamiltonian-adaptive ternary tree (HATT) fermion-to-qubit mapping
+// through the pkg/compiler facade, and compare it against Jordan–Wigner.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
-	"repro/internal/core"
 	"repro/internal/fermion"
-	"repro/internal/mapping"
+	"repro/pkg/compiler"
 )
 
 func main() {
@@ -32,8 +32,13 @@ func main() {
 	fmt.Println(" ", mh)
 
 	// Step 2: compile the HATT mapping (Algorithms 2+3: Hamiltonian-aware,
-	// vacuum-preserving, O(N³)).
-	res := core.Build(mh)
+	// vacuum-preserving, O(N³)). Any registered method spec works here —
+	// try "beam:8" or "anneal".
+	ctx := context.Background()
+	res, err := compiler.Compile(ctx, "hatt", mh)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\nHATT Majorana strings:")
 	for j, s := range res.Mapping.Majoranas {
 		fmt.Printf("  M%d = %s\n", j, s)
@@ -41,9 +46,12 @@ func main() {
 	fmt.Println("vacuum preserved:", res.Mapping.VacuumPreserved())
 
 	// Step 3: map the Hamiltonian and compare with Jordan–Wigner.
+	jw, err := compiler.Compile(ctx, "jw", mh)
+	if err != nil {
+		panic(err)
+	}
 	hattH := res.Mapping.Apply(mh)
-	jwH := mapping.JordanWigner(3).Apply(mh)
-	fmt.Printf("\nPauli weight: HATT = %d, JW = %d\n", hattH.Weight(), jwH.Weight())
+	fmt.Printf("\nPauli weight: HATT = %d, JW = %d\n", res.PredictedWeight, jw.PredictedWeight)
 	fmt.Println("\nHATT qubit Hamiltonian:")
 	fmt.Println(" ", hattH)
 

@@ -1,53 +1,31 @@
 // Tapering: combine HATT with Z₂-symmetry qubit tapering — the mapped
 // Hamiltonian's spin-parity symmetries let qubits be removed outright
 // after a Clifford rotation, shrinking the simulation further than any
-// mapping choice alone.
+// mapping choice alone. The whole chain (model, mapping, synthesis,
+// tapering) is one compiler.Pipeline call per mapping.
 //
 //	go run ./examples/tapering
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/circuit"
-	"repro/internal/core"
-	"repro/internal/linalg"
-	"repro/internal/mapping"
-	"repro/internal/models"
-	"repro/internal/taper"
+	"repro/pkg/compiler"
 )
 
 func main() {
-	h := models.H2STO3G()
-	mh := h.Majorana(1e-12)
-
-	for _, m := range []*mapping.Mapping{
-		mapping.JordanWigner(4),
-		core.Build(mh).Mapping,
-	} {
-		hq := m.Apply(mh)
-		full := linalg.GroundEnergy(hq)
-		cc := circuit.Compile(hq, circuit.OrderLexicographic)
-		fmt.Printf("%s: %d qubits, weight %d, %d CNOTs, E0 = %.6f Ha\n",
-			m.Name, hq.N(), hq.Weight(), cc.CNOTCount(), full)
-
-		taus := taper.FindSymmetries(hq)
-		fmt.Printf("  Z2 symmetries found: %d\n", len(taus))
-		for _, tau := range taus {
-			fmt.Printf("    %s\n", tau)
-		}
-		res, e, err := taper.GroundSector(hq, linalg.GroundEnergy)
+	ctx := context.Background()
+	for _, method := range []string{"jw", "hatt"} {
+		rep, err := compiler.Pipeline{Model: "h2", Method: method, Taper: true}.Run(ctx)
 		if err != nil {
-			fmt.Println("  tapering unavailable:", err)
-			continue
+			panic(err)
 		}
-		rc := circuit.Compile(res.Reduced, circuit.OrderLexicographic)
-		fmt.Printf("  tapered: %d qubits, weight %d, %d CNOTs, E0 = %.6f Ha\n",
-			res.Reduced.N(), res.Reduced.Weight(), rc.CNOTCount(), e)
-		for _, s := range res.Symmetries {
-			fmt.Printf("    %s → X on q%d, sector %+d\n", s.Tau, s.Qubit, s.Sector)
-		}
-		fmt.Println()
+		fmt.Printf("%s: %d qubits, weight %d, %d CNOTs\n",
+			rep.Result.Mapping.Name, rep.Qubit.N(), rep.Weight, rep.CNOTs)
+		t := rep.Tapered
+		fmt.Printf("  tapered: %d qubits, weight %d, %d CNOTs, E0 = %.6f Ha (%d symmetries)\n\n",
+			t.Qubits, t.Weight, t.CNOTs, t.GroundEnergy, t.Symmetries)
 	}
 	fmt.Println("The ground energy is preserved exactly while qubit count and")
 	fmt.Println("circuit size drop — tapering composes with any mapping.")

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/fermion"
 	"repro/internal/mapping"
 	"repro/internal/models"
+	"repro/pkg/compiler"
 )
 
 // Metric bundles the per-mapping numbers the tables report.
@@ -59,29 +61,34 @@ func DefaultOptions() Options {
 	}
 }
 
-// buildMapping constructs one named mapping for an n-mode Hamiltonian.
+// tableSpecs maps the paper's table column names onto compiler registry
+// specs.
+var tableSpecs = map[string]string{
+	"JW":         "jw",
+	"BK":         "bk",
+	"BTT":        "btt",
+	"HATT":       "hatt",
+	"HATT-unopt": "hatt-unopt",
+	"FH":         "fh",
+	"FH-anneal":  "anneal",
+}
+
+// buildMapping constructs one named mapping for an n-mode Hamiltonian via
+// the pkg/compiler facade.
 func buildMapping(name string, n int, mh *fermion.MajoranaHamiltonian, opt Options) (*mapping.Mapping, bool, bool) {
-	switch name {
-	case "JW":
-		return mapping.JordanWigner(n), false, false
-	case "BK":
-		return mapping.BravyiKitaev(n), false, false
-	case "BTT":
-		return mapping.BalancedTernaryTree(n), false, false
-	case "HATT":
-		return core.Build(mh).Mapping, false, false
-	case "HATT-unopt":
-		return core.BuildUnopt(mh).Mapping, false, false
-	case "FH":
-		if opt.FHMaxModes > 0 && n > opt.FHMaxModes {
-			return nil, false, true
-		}
-		res := core.Exhaustive(mh, opt.FHBudget)
-		return res.Mapping, !res.Optimal, false
-	case "FH-anneal":
-		return core.Anneal(mh, core.AnnealOptions{}).Mapping, true, false
+	spec, ok := tableSpecs[name]
+	if !ok {
+		panic("bench: unknown mapping " + name)
 	}
-	panic("bench: unknown mapping " + name)
+	if spec == "fh" && opt.FHMaxModes > 0 && n > opt.FHMaxModes {
+		return nil, false, true
+	}
+	res, err := compiler.Compile(context.Background(), spec, mh, compiler.WithVisitBudget(opt.FHBudget))
+	if err != nil {
+		panic("bench: " + name + ": " + err.Error())
+	}
+	approx := spec == "anneal" || (spec == "fh" && !res.Optimal)
+	return res.Mapping, approx, false
 }
 
 // EvaluateCase computes the Table I–III metrics of one benchmark case.

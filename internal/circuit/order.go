@@ -1,0 +1,31 @@
+package circuit
+
+import "fmt"
+
+// String returns the canonical spec name of a term order, matching what
+// ParseOrder accepts.
+func (o TermOrder) String() string {
+	switch o {
+	case OrderNatural:
+		return "natural"
+	case OrderLexicographic:
+		return "lex"
+	case OrderGreedyOverlap:
+		return "greedy"
+	}
+	return fmt.Sprintf("TermOrder(%d)", int(o))
+}
+
+// ParseOrder parses a term-order spec: "natural", "lex" (or
+// "lexicographic"), or "greedy" (or "overlap").
+func ParseOrder(s string) (TermOrder, error) {
+	switch s {
+	case "natural":
+		return OrderNatural, nil
+	case "lex", "lexicographic":
+		return OrderLexicographic, nil
+	case "greedy", "overlap":
+		return OrderGreedyOverlap, nil
+	}
+	return 0, fmt.Errorf("circuit: unknown term order %q (want natural | lex | greedy)", s)
+}

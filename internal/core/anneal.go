@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -16,16 +17,29 @@ type AnnealOptions struct {
 	TStart float64 // initial temperature (default 2.0)
 	TEnd   float64 // final temperature (default 0.01)
 	Seed   int64   // RNG seed (default 1)
+	// Progress, when non-nil, is invoked periodically (roughly every 1% of
+	// the schedule) with the current iteration, the total iteration count,
+	// and the best weight found so far.
+	Progress func(iter, iters, bestWeight int)
 }
 
-// Anneal refines the greedy HATT-unopt tree by simulated annealing over
+// Anneal runs AnnealCtx with a background context; it never fails.
+func Anneal(mh *fermion.MajoranaHamiltonian, opts AnnealOptions) *Result {
+	res, _ := AnnealCtx(context.Background(), mh, opts)
+	return res
+}
+
+// AnnealCtx refines the greedy HATT-unopt tree by simulated annealing over
 // tree space: the mutation swaps two random non-root nodes that are not in
 // ancestor/descendant relation, which reaches every complete ternary tree
 // shape and leaf placement. It stands in for Fermihedral's approximate
 // ('*') solutions at sizes where the exhaustive search is infeasible.
 // The result keeps the leaf-ID-to-Majorana assignment, so like Fermihedral
 // it does not guarantee vacuum-state preservation.
-func Anneal(mh *fermion.MajoranaHamiltonian, opts AnnealOptions) *Result {
+//
+// The context is checked on every mutation attempt; on cancellation the
+// search stops within one iteration and returns (nil, ctx.Err()).
+func AnnealCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts AnnealOptions) (*Result, error) {
 	if opts.Iters == 0 {
 		opts.Iters = 2000 * mh.Modes
 	}
@@ -48,7 +62,17 @@ func Anneal(mh *fermion.MajoranaHamiltonian, opts AnnealOptions) *Result {
 	all := collectNodes(cur)
 	cool := math.Pow(opts.TEnd/opts.TStart, 1/math.Max(1, float64(opts.Iters-1)))
 	temp := opts.TStart
+	stride := opts.Iters / 100
+	if stride < 1 {
+		stride = 1
+	}
 	for it := 0; it < opts.Iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if opts.Progress != nil && it%stride == 0 {
+			opts.Progress(it, opts.Iters, bestW)
+		}
 		a := all[r.Intn(len(all))]
 		b := all[r.Intn(len(all))]
 		if a == b || a.Parent == nil || b.Parent == nil || related(a, b) {
@@ -69,11 +93,14 @@ func Anneal(mh *fermion.MajoranaHamiltonian, opts AnnealOptions) *Result {
 		}
 		temp *= cool
 	}
+	if opts.Progress != nil {
+		opts.Progress(opts.Iters, opts.Iters, bestW)
+	}
 	return &Result{
 		Mapping:         mapping.FromTreeByLeafID("FH-anneal", best),
 		Tree:            best,
 		PredictedWeight: bestW,
-	}
+	}, nil
 }
 
 // related reports whether one node is an ancestor of the other.

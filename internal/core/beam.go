@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/fermion"
@@ -8,14 +9,24 @@ import (
 	"repro/internal/tree"
 )
 
-// BuildBeam generalizes the optimized HATT construction from greedy
+// BuildBeam runs BuildBeamCtx with a background context; it never fails.
+func BuildBeam(mh *fermion.MajoranaHamiltonian, width int) *Result {
+	res, _ := BuildBeamCtx(context.Background(), mh, width)
+	return res
+}
+
+// BuildBeamCtx generalizes the optimized HATT construction from greedy
 // (beam width 1, equivalent to Build) to beam search: at every step the
 // `width` best partial trees by accumulated settled weight are kept, each
 // expanded through the same vacuum-preserving candidate enumeration as
 // Algorithm 2. This explores the future-work axis the paper leaves open —
 // trading construction time (×width) for mapping quality — while keeping
 // vacuum-state preservation. Ties collapse deterministically.
-func BuildBeam(mh *fermion.MajoranaHamiltonian, width int) *Result {
+//
+// The context is checked before each beam state is expanded; on
+// cancellation the search stops within one state expansion and
+// (nil, ctx.Err()) is returned.
+func BuildBeamCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, width int) (*Result, error) {
 	if width < 1 {
 		width = 1
 	}
@@ -30,6 +41,9 @@ func BuildBeam(mh *fermion.MajoranaHamiltonian, width int) *Result {
 		}
 		var cands []cand
 		for _, st := range beams {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for _, ox := range st.u {
 				x := st.mdown[ox]
 				if x%2 == 1 || x == 2*n {
@@ -73,7 +87,7 @@ func BuildBeam(mh *fermion.MajoranaHamiltonian, width int) *Result {
 	if width > 1 {
 		if greedy := Build(mh); greedy.PredictedWeight < best.acc {
 			greedy.Mapping.Name = "HATT-beam"
-			return greedy
+			return greedy, nil
 		}
 	}
 	t := best.buildTree(p)
@@ -81,7 +95,7 @@ func BuildBeam(mh *fermion.MajoranaHamiltonian, width int) *Result {
 		Mapping:         mapping.FromTreeByLeafID("HATT-beam", t),
 		Tree:            t,
 		PredictedWeight: best.acc,
-	}
+	}, nil
 }
 
 // beamState is an immutable-by-convention partial construction: cloned

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/fermion"
 	"repro/internal/mapping"
 )
@@ -18,7 +20,13 @@ type ExhaustiveResult struct {
 	Visited int64
 }
 
-// Exhaustive searches the entire ternary-tree fermion-to-qubit mapping
+// Exhaustive runs ExhaustiveCtx with a background context; it never fails.
+func Exhaustive(mh *fermion.MajoranaHamiltonian, maxVisits int64) *ExhaustiveResult {
+	res, _ := ExhaustiveCtx(context.Background(), mh, maxVisits)
+	return res
+}
+
+// ExhaustiveCtx searches the entire ternary-tree fermion-to-qubit mapping
 // space for the Hamiltonian-minimal Pauli weight, standing in for the
 // Fermihedral SAT baseline. It explores all sequences of 3-subset merges
 // with branch-and-bound on the accumulated settled weight, plus sibling
@@ -26,10 +34,15 @@ type ExhaustiveResult struct {
 // interchangeable). Complexity is super-exponential in N — by design: the
 // scalability wall is part of what Figure 12 reproduces. maxVisits bounds
 // the number of explored merge states (≤ 0 means unlimited).
-func Exhaustive(mh *fermion.MajoranaHamiltonian, maxVisits int64) *ExhaustiveResult {
+//
+// The context is checked on every visited search state; on cancellation
+// the recursion unwinds within one state expansion and (nil, ctx.Err())
+// is returned.
+func ExhaustiveCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, maxVisits int64) (*ExhaustiveResult, error) {
 	p := newProblem(mh)
 	n := p.n
 	s := &exhaustiveState{
+		ctx:       ctx,
 		p:         p,
 		bits:      make([]termBits, 3*n+1),
 		u:         make([]int, 2*n+1),
@@ -48,6 +61,9 @@ func Exhaustive(mh *fermion.MajoranaHamiltonian, maxVisits int64) *ExhaustiveRes
 	s.bestMerges = make([][3]int, len(seed.log))
 	copy(s.bestMerges, seed.log)
 	s.dfs(0, 0)
+	if s.cancelled {
+		return nil, ctx.Err()
+	}
 	s.complete = !s.exhausted
 
 	// Rebuild the best merge sequence into a tree via the shared builder.
@@ -68,10 +84,11 @@ func Exhaustive(mh *fermion.MajoranaHamiltonian, maxVisits int64) *ExhaustiveRes
 		},
 		Optimal: s.complete,
 		Visited: s.visited,
-	}
+	}, nil
 }
 
 type exhaustiveState struct {
+	ctx        context.Context
 	p          *problem
 	bits       []termBits
 	u          []int
@@ -82,10 +99,15 @@ type exhaustiveState struct {
 	maxVisits  int64
 	complete   bool
 	exhausted  bool
+	cancelled  bool
 }
 
 func (s *exhaustiveState) dfs(step, acc int) {
-	if s.exhausted {
+	if s.exhausted || s.cancelled {
+		return
+	}
+	if s.ctx.Err() != nil {
+		s.cancelled = true
 		return
 	}
 	s.visited++
@@ -138,7 +160,7 @@ func (s *exhaustiveState) dfs(step, acc int) {
 				s.u = newU
 				s.dfs(step+1, acc+w)
 				s.u = u
-				if s.exhausted {
+				if s.exhausted || s.cancelled {
 					return
 				}
 			}

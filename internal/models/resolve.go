@@ -1,0 +1,67 @@
+package models
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fermion"
+)
+
+// SpecHelp is the one-line grammar of the model specs Resolve accepts,
+// suitable for CLI usage strings.
+const SpecHelp = "h2 | molecule:<even modes> | hubbard:<R>x<C> | neutrino:<N>x<F>"
+
+// Resolve parses a benchmark model spec and builds the corresponding
+// fermionic Hamiltonian:
+//
+//	h2               H₂/STO-3G with the published integrals
+//	molecule:<M>     synthetic molecule on M (even) spin-orbitals
+//	hubbard:<R>x<C>  Fermi–Hubbard lattice, t=1, U=4, open boundaries
+//	neutrino:<N>x<F> collective neutrino oscillation, N sites, F flavors
+//
+// Unknown or malformed specs return an error.
+func Resolve(spec string) (*fermion.Hamiltonian, error) {
+	switch {
+	case spec == "h2":
+		return H2STO3G(), nil
+	case strings.HasPrefix(spec, "molecule:"):
+		modes, err := strconv.Atoi(spec[len("molecule:"):])
+		if err != nil || modes < 2 || modes%2 != 0 {
+			return nil, fmt.Errorf("models: bad molecule spec %q (want molecule:<even modes>)", spec)
+		}
+		return SyntheticMolecule("synthetic", modes, 100+int64(modes), 0.4), nil
+	case strings.HasPrefix(spec, "hubbard:"):
+		r, c, err := parsePair(spec[len("hubbard:"):])
+		if err != nil {
+			return nil, fmt.Errorf("models: bad hubbard spec %q: %v", spec, err)
+		}
+		return FermiHubbard(r, c, 1.0, 4.0), nil
+	case strings.HasPrefix(spec, "neutrino:"):
+		n, f, err := parsePair(spec[len("neutrino:"):])
+		if err != nil {
+			return nil, fmt.Errorf("models: bad neutrino spec %q: %v", spec, err)
+		}
+		return NeutrinoOscillation(n, f, 1.0), nil
+	}
+	return nil, fmt.Errorf("models: unknown model %q (want %s)", spec, SpecHelp)
+}
+
+func parsePair(s string) (int, int, error) {
+	parts := strings.SplitN(s, "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want <A>x<B>")
+	}
+	a, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	if a < 1 || b < 1 {
+		return 0, 0, fmt.Errorf("want positive dimensions")
+	}
+	return a, b, nil
+}

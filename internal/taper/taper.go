@@ -9,6 +9,7 @@
 package taper
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -280,11 +281,18 @@ func TaperSector(h *pauli.Hamiltonian, taus []pauli.String, sectors []int) (*Res
 	return &Result{Reduced: red, Symmetries: syms, KeptQubits: kept}, nil
 }
 
-// GroundSector tries every sector assignment (2^k, guarded to k ≤ 12) and
-// returns the tapering whose reduced ground energy matches the global
+// GroundSector runs GroundSectorCtx with a background context.
+func GroundSector(h *pauli.Hamiltonian, groundEnergy func(*pauli.Hamiltonian) float64) (*Result, float64, error) {
+	return GroundSectorCtx(context.Background(), h, groundEnergy)
+}
+
+// GroundSectorCtx tries every sector assignment (2^k, guarded to k ≤ 12)
+// and returns the tapering whose reduced ground energy matches the global
 // minimum, together with that energy. groundEnergy is a caller-provided
 // oracle (e.g. linalg.GroundEnergy) so this package stays dependency-free.
-func GroundSector(h *pauli.Hamiltonian, groundEnergy func(*pauli.Hamiltonian) float64) (*Result, float64, error) {
+// The context is checked before each sector's eigensolve; on cancellation
+// the sweep stops and returns ctx.Err().
+func GroundSectorCtx(ctx context.Context, h *pauli.Hamiltonian, groundEnergy func(*pauli.Hamiltonian) float64) (*Result, float64, error) {
 	taus := FindSymmetries(h)
 	if len(taus) == 0 {
 		return nil, 0, fmt.Errorf("taper: no symmetries found")
@@ -295,6 +303,9 @@ func GroundSector(h *pauli.Hamiltonian, groundEnergy func(*pauli.Hamiltonian) fl
 	bestE := math.Inf(1)
 	var best *Result
 	for bitsV := 0; bitsV < 1<<uint(len(taus)); bitsV++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		sectors := make([]int, len(taus))
 		for i := range sectors {
 			if bitsV>>uint(i)&1 == 1 {

@@ -1,0 +1,180 @@
+// Package compiler is the public facade over the repository's
+// fermion-to-qubit compilation machinery. It is the single supported way
+// to turn a fermionic Hamiltonian into a mapped, synthesized result:
+//
+//	mh := h.Majorana(1e-12)
+//	res, err := compiler.Compile(ctx, "hatt", mh)
+//
+// Every mapping method — the constructive baselines (jw, bk, parity,
+// btt), the paper's HATT constructions (hatt, hatt-unopt, beam), and the
+// Fermihedral substitutes (fh, anneal) — is a Method registered under a
+// string name, resolvable with parameters embedded in the spec
+// ("beam:8", "fh:500000"). Long-running methods honor context
+// cancellation, panics inside a method are converted to errors at the
+// boundary, and the Pipeline type runs the whole
+// model → mapping → synthesis → metrics chain in one call.
+package compiler
+
+import (
+	"context"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/fermion"
+	"repro/internal/mapping"
+	"repro/internal/tree"
+)
+
+// TieBreak re-exports the core tie-breaking policy for the hatt method.
+type TieBreak = core.TieBreak
+
+// Tie-breaking policies for WithTieBreak.
+const (
+	TieFirst   = core.TieFirst
+	TieDepth   = core.TieDepth
+	TieSupport = core.TieSupport
+)
+
+// Options carries every tunable a Method may consult. Construct it with
+// NewOptions so zero fields get their documented defaults; methods ignore
+// options that do not apply to them.
+type Options struct {
+	BeamWidth    int               // beam search width (beam)
+	VisitBudget  int64             // exhaustive search state budget, ≤0 unlimited (fh)
+	AnnealIters  int               // mutation attempts, 0 = 2000·N (anneal)
+	AnnealTStart float64           // initial temperature, 0 = 2.0 (anneal)
+	AnnealTEnd   float64           // final temperature, 0 = 0.01 (anneal)
+	TrotterSteps int               // Trotter steps synthesized by Pipeline
+	TrotterTime  float64           // total evolution time synthesized by Pipeline
+	TermOrder    circuit.TermOrder // term ordering used by Pipeline synthesis
+	TieBreak     TieBreak          // equal-weight candidate policy (hatt)
+	Seed         int64             // RNG seed, 0 = 1 (anneal)
+	Progress     func(ProgressEvent)
+}
+
+// Option mutates Options; see the With* constructors.
+type Option func(*Options)
+
+// NewOptions applies the given options on top of the defaults:
+// beam width 4, visit budget 2,000,000, one Trotter step of time 1.0,
+// lexicographic term order.
+func NewOptions(opts ...Option) Options {
+	o := Options{
+		BeamWidth:    4,
+		VisitBudget:  2_000_000,
+		TrotterSteps: 1,
+		TrotterTime:  1.0,
+		TermOrder:    circuit.OrderLexicographic,
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// WithBeamWidth sets the beam search width (methods: beam).
+func WithBeamWidth(width int) Option { return func(o *Options) { o.BeamWidth = width } }
+
+// WithVisitBudget bounds the exhaustive search's explored states;
+// budget ≤ 0 means unlimited (methods: fh).
+func WithVisitBudget(budget int64) Option { return func(o *Options) { o.VisitBudget = budget } }
+
+// WithAnnealSchedule sets the simulated-annealing schedule; zero values
+// keep the method defaults (methods: anneal).
+func WithAnnealSchedule(iters int, tStart, tEnd float64) Option {
+	return func(o *Options) { o.AnnealIters, o.AnnealTStart, o.AnnealTEnd = iters, tStart, tEnd }
+}
+
+// WithTrotterSteps sets how many Trotter steps Pipeline synthesizes.
+func WithTrotterSteps(steps int) Option { return func(o *Options) { o.TrotterSteps = steps } }
+
+// WithTrotterTime sets the total evolution time Pipeline synthesizes.
+func WithTrotterTime(t float64) Option { return func(o *Options) { o.TrotterTime = t } }
+
+// WithTermOrder sets the Trotter term ordering Pipeline synthesizes with.
+func WithTermOrder(ord circuit.TermOrder) Option { return func(o *Options) { o.TermOrder = ord } }
+
+// WithTieBreak sets the equal-weight candidate policy (methods: hatt).
+func WithTieBreak(tb TieBreak) Option { return func(o *Options) { o.TieBreak = tb } }
+
+// WithSeed seeds the stochastic methods (methods: anneal).
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithProgress registers a callback for ProgressEvents. Every method
+// emits StageStart/StageDone; per-iteration StageSearch events currently
+// come from the anneal method. Events are delivered synchronously from
+// the compiling goroutine; keep the callback cheap.
+func WithProgress(fn func(ProgressEvent)) Option { return func(o *Options) { o.Progress = fn } }
+
+// Progress stages.
+const (
+	// StageStart is emitted once when a method begins compiling.
+	StageStart = "start"
+	// StageSearch is emitted periodically from iterative searches with
+	// Step/Total and the best weight found so far.
+	StageSearch = "search"
+	// StageDone is emitted once when a method finishes, with the final
+	// weight in BestWeight.
+	StageDone = "done"
+)
+
+// ProgressEvent reports compilation progress to a WithProgress callback.
+type ProgressEvent struct {
+	Method     string // method name, e.g. "anneal"
+	Stage      string // one of the Stage* constants
+	Step       int    // current iteration (StageSearch)
+	Total      int    // total iterations (StageSearch)
+	BestWeight int    // best Pauli weight found so far
+}
+
+func (o Options) emit(ev ProgressEvent) {
+	if o.Progress != nil {
+		o.Progress(ev)
+	}
+}
+
+// Result is a compiled fermion-to-qubit mapping. PredictedWeight is the
+// Pauli weight of the Hamiltonian under the mapping (for tree
+// constructions it is the settled weight the build accumulated, which
+// equals the applied weight). Tree is nil for the constructive baselines,
+// which are not tree-derived. Optimal and Visited are populated by the
+// exhaustive fh search.
+type Result struct {
+	Method          string
+	Mapping         *mapping.Mapping
+	Tree            *tree.Tree
+	PredictedWeight int
+	Optimal         bool
+	Visited         int64
+}
+
+// ParseTermOrder parses a term-order spec ("natural", "lex", "greedy")
+// into the value WithTermOrder accepts.
+func ParseTermOrder(s string) (circuit.TermOrder, error) { return circuit.ParseOrder(s) }
+
+// Compile resolves spec against the registry and compiles mh with it.
+// It is the one-call form of Resolve + Method.Compile:
+//
+//	res, err := compiler.Compile(ctx, "beam:8", mh)
+//
+// Cancelling ctx makes the long-running methods (beam, fh, anneal) return
+// promptly with ctx.Err().
+func Compile(ctx context.Context, spec string, mh *fermion.MajoranaHamiltonian, opts ...Option) (*Result, error) {
+	return compileWith(ctx, spec, mh, NewOptions(opts...))
+}
+
+// compileWith is Compile over already-resolved Options, shared with
+// Pipeline.Run so both stages see the same resolved values.
+func compileWith(ctx context.Context, spec string, mh *fermion.MajoranaHamiltonian, o Options) (*Result, error) {
+	m, err := Resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	o.emit(ProgressEvent{Method: m.Name(), Stage: StageStart})
+	res, err := m.Compile(ctx, mh, o)
+	if err != nil {
+		return nil, err
+	}
+	o.emit(ProgressEvent{Method: m.Name(), Stage: StageDone, BestWeight: res.PredictedWeight})
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package compiler
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/fermion"
+	"repro/internal/models"
+)
+
+// allSpecs is the full built-in method set, one spec per method,
+// parameterized where a parameter keeps the test fast.
+var allSpecs = []string{
+	"jw", "bk", "parity", "btt",
+	"hatt", "hatt-unopt", "beam:2", "fh:50000", "anneal",
+}
+
+func testMajorana(t testing.TB) *fermion.MajoranaHamiltonian {
+	t.Helper()
+	return models.H2STO3G().Majorana(1e-12)
+}
+
+func TestAllMethodsResolvable(t *testing.T) {
+	want := []string{"anneal", "beam", "bk", "btt", "fh", "hatt", "hatt-unopt", "jw", "parity"}
+	got := Methods()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Methods() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		if _, err := Resolve(name); err != nil {
+			t.Errorf("Resolve(%q): %v", name, err)
+		}
+	}
+}
+
+func TestCompileEveryMethod(t *testing.T) {
+	mh := testMajorana(t)
+	ctx := context.Background()
+	for _, spec := range allSpecs {
+		res, err := Compile(ctx, spec, mh, WithAnnealSchedule(500, 0, 0))
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", spec, err)
+		}
+		if res.Mapping == nil || res.PredictedWeight <= 0 {
+			t.Fatalf("Compile(%q): bad result %+v", spec, res)
+		}
+		if err := res.Mapping.Verify(); err != nil {
+			t.Errorf("Compile(%q): mapping invalid: %v", spec, err)
+		}
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	for _, spec := range []string{"", "nope", "nope:3"} {
+		if _, err := Resolve(spec); err == nil {
+			t.Errorf("Resolve(%q): expected error", spec)
+		}
+	}
+}
+
+func TestResolveBadParams(t *testing.T) {
+	for _, spec := range []string{"jw:3", "hatt:fast", "beam:", "beam:x", "beam:0", "fh:-1", "fh:много"} {
+		if _, err := Resolve(spec); err == nil {
+			t.Errorf("Resolve(%q): expected error", spec)
+		}
+	}
+}
+
+func TestResolveParamConfigures(t *testing.T) {
+	mh := testMajorana(t)
+	m, err := Resolve("beam:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "beam" {
+		t.Fatalf("Name() = %q, want beam", m.Name())
+	}
+	// The spec parameter must win over the option default.
+	res, err := m.Compile(context.Background(), mh, NewOptions(WithBeamWidth(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PredictedWeight <= 0 {
+		t.Fatal("bad weight")
+	}
+}
+
+func TestDuplicateRegisterRejected(t *testing.T) {
+	dummy := method{name: "dup-test", run: nil}
+	t.Cleanup(func() {
+		// Drop the probe entry so the global registry stays pristine for
+		// tests running after this one (e.g. under -shuffle).
+		registry.Lock()
+		delete(registry.m, dummy.name)
+		registry.Unlock()
+	})
+	if err := Register(dummy); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	if err := Register(dummy); err == nil {
+		t.Fatal("second Register: expected duplicate error")
+	}
+	if err := Register(method{name: ""}); err == nil {
+		t.Fatal("empty name: expected error")
+	}
+	if err := Register(method{name: "a:b"}); err == nil {
+		t.Fatal("name with colon: expected error")
+	}
+}
+
+func TestPanicConvertedToError(t *testing.T) {
+	m := method{name: "boom", run: func(context.Context, *fermion.MajoranaHamiltonian, Options) (*Result, error) {
+		panic("kaboom")
+	}}
+	_, err := m.Compile(context.Background(), testMajorana(t), NewOptions())
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("want panic converted to error, got %v", err)
+	}
+}
+
+func TestNilHamiltonian(t *testing.T) {
+	if _, err := Compile(context.Background(), "jw", nil); err == nil {
+		t.Fatal("expected error for nil Hamiltonian")
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	mh := testMajorana(t)
+	var stages []string
+	_, err := Compile(context.Background(), "anneal", mh,
+		WithAnnealSchedule(300, 0, 0),
+		WithSeed(7),
+		WithProgress(func(ev ProgressEvent) { stages = append(stages, ev.Stage) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) < 3 || stages[0] != StageStart || stages[len(stages)-1] != StageDone {
+		t.Fatalf("bad event sequence: %v", stages)
+	}
+	sawSearch := false
+	for _, s := range stages {
+		if s == StageSearch {
+			sawSearch = true
+		}
+	}
+	if !sawSearch {
+		t.Fatalf("no %s events in %v", StageSearch, stages)
+	}
+}
