@@ -6,8 +6,10 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"io"
+	"os"
 	"testing"
 
 	"repro/internal/bench"
@@ -134,10 +136,11 @@ func BenchmarkFigure12Scalability(b *testing.B) {
 // --- Ablation benches -----------------------------------------------------
 
 func BenchmarkHATTConstruction3x3(b *testing.B) {
+	// NoMemo: time the greedy search itself, not a build-memo replay.
 	mh := models.FermiHubbard(3, 3, 1, 4).Majorana(1e-12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if core.Build(mh).PredictedWeight <= 0 {
+		if core.BuildWithOptions(mh, core.BuildOptions{NoMemo: true}).PredictedWeight <= 0 {
 			b.Fatal("bad weight")
 		}
 	}
@@ -145,6 +148,21 @@ func BenchmarkHATTConstruction3x3(b *testing.B) {
 
 func BenchmarkHATTConstruction4x4(b *testing.B) {
 	mh := models.FermiHubbard(4, 4, 1, 4).Majorana(1e-12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.BuildWithOptions(mh, core.BuildOptions{NoMemo: true}).PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkHATTMemoHit3x3(b *testing.B) {
+	// The batch-serving fast path: every call after the first replays the
+	// memoized merge schedule. The delta vs BenchmarkHATTConstruction3x3
+	// is what the memo saves a multi-tenant batch.
+	mh := models.FermiHubbard(3, 3, 1, 4).Majorana(1e-12)
+	core.ResetBuildCache()
+	core.Build(mh) // warm the memo
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if core.Build(mh).PredictedWeight <= 0 {
@@ -155,12 +173,14 @@ func BenchmarkHATTConstruction4x4(b *testing.B) {
 
 func BenchmarkCompilerCompileHATT3x3(b *testing.B) {
 	// End-to-end facade path over the same workload as
-	// BenchmarkHATTConstruction3x3: the delta between the two is the
-	// registry + options + boundary overhead of pkg/compiler.
+	// BenchmarkHATTConstruction3x3; the memo is reset every iteration so
+	// the delta between the two is the registry + options + boundary
+	// overhead of pkg/compiler, not a cache hit.
 	mh := models.FermiHubbard(3, 3, 1, 4).Majorana(1e-12)
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		core.ResetBuildCache()
 		res, err := compiler.Compile(ctx, "hatt", mh)
 		if err != nil {
 			b.Fatal(err)
@@ -268,6 +288,81 @@ func BenchmarkTieBreakSupport2x3(b *testing.B) {
 		res := core.BuildWithOptions(mh, core.BuildOptions{TieBreak: core.TieSupport})
 		if res.PredictedWeight <= 0 {
 			b.Fatal("bad weight")
+		}
+	}
+}
+
+// --- Parallel engine benches ----------------------------------------------
+//
+// The BenchmarkCompile*Parallel pairs measure the same search at
+// WithParallelism(1) and WithParallelism(4); on a multi-core host the
+// wall-time ratio is the parallel engine's speedup (the mappings are
+// byte-identical either way — asserted in pkg/compiler tests). On a
+// single-core host the pair documents the pool's overhead instead.
+
+func benchCompileParallel(b *testing.B, spec string, par int) {
+	mh := models.FermiHubbard(2, 3, 1, 4).Majorana(1e-12)
+	ctx := context.Background()
+	opts := []compiler.Option{
+		compiler.WithParallelism(par),
+		compiler.WithSeed(1),
+		compiler.WithAnnealRestarts(4),
+		compiler.WithAnnealSchedule(2000, 0, 0),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ResetBuildCache()
+		res, err := compiler.Compile(ctx, spec, mh, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PredictedWeight <= 0 {
+			b.Fatal("bad weight")
+		}
+	}
+}
+
+func BenchmarkCompileBeamHubbardParallel1(b *testing.B) { benchCompileParallel(b, "beam:6", 1) }
+func BenchmarkCompileBeamHubbardParallel4(b *testing.B) { benchCompileParallel(b, "beam:6", 4) }
+
+func BenchmarkCompileAnnealHubbardParallel1(b *testing.B) { benchCompileParallel(b, "anneal", 1) }
+func BenchmarkCompileAnnealHubbardParallel4(b *testing.B) { benchCompileParallel(b, "anneal", 4) }
+
+func BenchmarkCompileHATTHubbardParallel1(b *testing.B) { benchCompileParallel(b, "hatt", 1) }
+func BenchmarkCompileHATTHubbardParallel4(b *testing.B) { benchCompileParallel(b, "hatt", 4) }
+
+func BenchmarkCompileBatch8xH2(b *testing.B) {
+	// Eight tenants requesting the same model: the batch fans out across
+	// items and the build memo collapses the duplicate searches.
+	items := make([]compiler.BatchItem, 8)
+	for i := range items {
+		items[i] = compiler.BatchItem{Model: "h2", Spec: "hatt"}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ResetBuildCache()
+		for _, br := range compiler.CompileBatch(ctx, items, compiler.WithParallelism(4)) {
+			if br.Err != nil {
+				b.Fatal(br.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkPerfSuiteJSON(b *testing.B) {
+	// Regenerates the machine-readable sequential-vs-parallel sweep and
+	// writes it to BENCH_perf.json; CI runs this at -benchtime=1x and
+	// uploads every BENCH_*.json as the per-PR perf artifact.
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rep := bench.PerfSuite(opt, 4)
+		var buf bytes.Buffer
+		if err := bench.WritePerfJSON(&buf, rep); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_perf.json", buf.Bytes(), 0o644); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -13,6 +13,8 @@
 //	benchtab -figure 12        # scalability curves
 //	benchtab -all              # everything
 //	benchtab -list             # the pkg/compiler methods the tables use
+//	benchtab -perf -json BENCH_perf.json -workers 4
+//	                           # sequential-vs-parallel sweep, JSON artifact
 //
 // Scale knobs: -max-modes, -shots, -grid, -fh-modes, -fh-budget, -max-n.
 //
@@ -43,6 +45,9 @@ func main() {
 	maxN := flag.Int("max-n", 20, "figure 12 maximum size")
 	fhMaxN := flag.Int("fh-max-n", 5, "figure 12 maximum FH size")
 	ablation := flag.String("ablation", "", "run an ablation study: beam | ordering | cache | tiebreak")
+	perf := flag.Bool("perf", false, "run the sequential-vs-parallel compilation sweep")
+	jsonPath := flag.String("json", "", "with -perf: also write the sweep as JSON to this path (BENCH_*.json)")
+	workers := flag.Int("workers", 0, "with -perf: parallel worker count (0 = GOMAXPROCS)")
 	summary := flag.Bool("summary", false, "print the headline HATT-vs-baseline reductions across Tables I-III")
 	exact := flag.Bool("exact", false, "figure 10: use the density-matrix simulator (exact bias, no shots)")
 	list := flag.Bool("list", false, "list the compiler methods the tables draw from and exit")
@@ -124,6 +129,26 @@ func main() {
 		return
 	}
 	switch {
+	case *perf:
+		rep := bench.PerfSuite(opt, *workers)
+		bench.PrintPerf(w, rep)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			if err := bench.WritePerfJSON(f, rep); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(w, "wrote", *jsonPath)
+		}
 	case *summary:
 		bench.PrintSummary(w, bench.HeadlineSummaries(opt))
 	case *ablation != "":

@@ -40,6 +40,9 @@ func BeamAblation(widths []int, opt Options) []BeamAblationRow {
 		mh := c.Build().Majorana(1e-12)
 		row := BeamAblationRow{Case: c.Name, Modes: c.Modes, Widths: widths}
 		for _, w := range widths {
+			// Every width pays for its own greedy incumbent: a warm
+			// build memo would make the wider runs look cheaper.
+			core.ResetBuildCache()
 			t0 := time.Now()
 			res := core.BuildBeam(mh, w)
 			row.Times = append(row.Times, time.Since(t0))
@@ -208,8 +211,11 @@ func CacheAblation(opt Options) []CacheAblationRow {
 	for n := 4; n <= opt.MaxN; n += 4 {
 		mh := allMajoranaSum(n)
 		rows = append(rows, CacheAblationRow{
-			Modes:    n,
-			Cached:   minTime(func() { core.Build(mh) }),
+			Modes: n,
+			// NoMemo: this ablation times the Algorithm-3 descZ caches,
+			// so every rep must run the full construction rather than
+			// hit the build memo.
+			Cached:   minTime(func() { core.BuildWithOptions(mh, core.BuildOptions{NoMemo: true}) }),
 			Uncached: minTime(func() { core.BuildUncached(mh) }),
 		})
 	}

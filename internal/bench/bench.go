@@ -210,7 +210,9 @@ func Table6(opt Options) []Table6Row {
 		mh := c.Build().Majorana(1e-12)
 		t0 := time.Now()
 		un := core.BuildUnopt(mh)
-		op := core.Build(mh)
+		// NoMemo: earlier tables compile the same catalog models through
+		// the facade, so a memoized Build here would time a replay.
+		op := core.BuildWithOptions(mh, core.BuildOptions{NoMemo: true})
 		el := time.Since(t0).Microseconds()
 		rel := 0.0
 		if un.PredictedWeight > 0 {

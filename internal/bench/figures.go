@@ -253,7 +253,9 @@ func Figure12(opt Options) []Figure12Row {
 			row.FHOptimal = res.Optimal
 		}
 		row.Unopt = minOf3(func() { core.BuildUnopt(mh) })
-		row.Opt = minOf3(func() { core.Build(mh) })
+		// NoMemo: the scalability curve times the O(N^3) construction;
+		// a memo replay would flatten it to O(N).
+		row.Opt = minOf3(func() { core.BuildWithOptions(mh, core.BuildOptions{NoMemo: true}) })
 		rows = append(rows, row)
 	}
 	return rows

@@ -7,25 +7,42 @@ import (
 
 	"repro/internal/fermion"
 	"repro/internal/mapping"
+	"repro/internal/parallel"
 	"repro/internal/tree"
 )
 
 // AnnealOptions configures the simulated-annealing search. Zero values get
 // sensible defaults.
 type AnnealOptions struct {
-	Iters  int     // mutation attempts (default 2000·N)
+	Iters  int     // mutation attempts per chain (default 2000·N)
 	TStart float64 // initial temperature (default 2.0)
 	TEnd   float64 // final temperature (default 0.01)
 	Seed   int64   // RNG seed (default 1)
+	// Restarts runs that many independent annealing chains (default 1);
+	// chain k is seeded with Seed+k and the lowest-weight result wins,
+	// earliest chain on ties. The winner depends only on Seed, Restarts,
+	// and the schedule — never on Workers.
+	Restarts int
+	// Workers bounds how many chains run concurrently; values below 2
+	// run the chains sequentially, matching the zero-value semantics of
+	// BuildOptions.Workers and BeamOptions.Workers. It has no effect on
+	// the result.
+	Workers int
 	// Progress, when non-nil, is invoked periodically (roughly every 1% of
 	// the schedule) with the current iteration, the total iteration count,
-	// and the best weight found so far.
+	// and the best weight found so far. With Restarts > 1 only the first
+	// chain reports, keeping the callback single-goroutine.
 	Progress func(iter, iters, bestWeight int)
 }
 
-// Anneal runs AnnealCtx with a background context; it never fails.
+// Anneal runs AnnealCtx with a background context. It never returns an
+// error: a panic inside a restart chain is re-raised rather than
+// silently returning nil.
 func Anneal(mh *fermion.MajoranaHamiltonian, opts AnnealOptions) *Result {
-	res, _ := AnnealCtx(context.Background(), mh, opts)
+	res, err := AnnealCtx(context.Background(), mh, opts)
+	if err != nil {
+		panic(err)
+	}
 	return res
 }
 
@@ -39,6 +56,10 @@ func Anneal(mh *fermion.MajoranaHamiltonian, opts AnnealOptions) *Result {
 //
 // The context is checked on every mutation attempt; on cancellation the
 // search stops within one iteration and returns (nil, ctx.Err()).
+//
+// With Restarts > 1 the chains run concurrently over a bounded worker
+// pool (Workers wide) and the best result is selected deterministically,
+// so a fixed Seed yields a byte-identical mapping at any Workers value.
 func AnnealCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts AnnealOptions) (*Result, error) {
 	if opts.Iters == 0 {
 		opts.Iters = 2000 * mh.Modes
@@ -52,6 +73,34 @@ func AnnealCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts Anneal
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.Restarts < 1 {
+		opts.Restarts = 1
+	}
+	if opts.Restarts == 1 {
+		return annealChain(ctx, mh, opts)
+	}
+	results, err := parallel.Map(ctx, opts.Restarts, max(1, opts.Workers), func(k int) (*Result, error) {
+		chain := opts
+		chain.Seed = opts.Seed + int64(k)
+		if k != 0 {
+			chain.Progress = nil
+		}
+		return annealChain(ctx, mh, chain)
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.PredictedWeight < best.PredictedWeight {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// annealChain runs one simulated-annealing chain to completion.
+func annealChain(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts AnnealOptions) (*Result, error) {
 	p := newProblem(mh)
 	cur := buildUnoptBuilder(newProblem(mh)).finish()
 	curW := p.evaluateTree(cur)

@@ -6,13 +6,29 @@ import (
 
 	"repro/internal/fermion"
 	"repro/internal/mapping"
+	"repro/internal/parallel"
 	"repro/internal/tree"
 )
 
-// BuildBeam runs BuildBeamCtx with a background context; it never fails.
+// BuildBeam runs BuildBeamCtx with a background context. It never
+// returns an error: a panic inside a pool worker is re-raised rather
+// than silently returning nil.
 func BuildBeam(mh *fermion.MajoranaHamiltonian, width int) *Result {
-	res, _ := BuildBeamCtx(context.Background(), mh, width)
+	res, err := BuildBeamCtx(context.Background(), mh, width)
+	if err != nil {
+		panic(err)
+	}
 	return res
+}
+
+// BeamOptions configures BuildBeamOpts.
+type BeamOptions struct {
+	// Width is the number of partial trees kept per step (minimum 1).
+	Width int
+	// Workers fans candidate scoring out over a bounded pool; values
+	// below 2 keep the scan sequential. The search result is identical
+	// at every worker count.
+	Workers int
 }
 
 // BuildBeamCtx generalizes the optimized HATT construction from greedy
@@ -27,19 +43,32 @@ func BuildBeam(mh *fermion.MajoranaHamiltonian, width int) *Result {
 // cancellation the search stops within one state expansion and
 // (nil, ctx.Err()) is returned.
 func BuildBeamCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, width int) (*Result, error) {
+	return BuildBeamOpts(ctx, mh, BeamOptions{Width: width})
+}
+
+// BuildBeamOpts is BuildBeamCtx with candidate scoring fanned out over a
+// bounded worker pool. Candidates are enumerated in a deterministic order
+// and scored into an index-addressed slice, and the beam is pruned with a
+// stable sort, so the search — and the returned mapping — is byte-
+// identical at every Workers value.
+func BuildBeamOpts(ctx context.Context, mh *fermion.MajoranaHamiltonian, opt BeamOptions) (*Result, error) {
+	width := opt.Width
 	if width < 1 {
 		width = 1
 	}
 	p := newProblem(mh)
 	n := p.n
 	beams := []*beamState{newBeamState(p)}
+	type cand struct {
+		parent     *beamState
+		ox, oy, oz int
+		acc        int
+	}
+	var cands []cand
 	for i := 0; i < n; i++ {
-		type cand struct {
-			parent     *beamState
-			ox, oy, oz int
-			acc        int
-		}
-		var cands []cand
+		// Enumerate expansions sequentially (cheap index work, fixes the
+		// candidate order)...
+		cands = cands[:0]
 		for _, st := range beams {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -57,10 +86,25 @@ func BuildBeamCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, width in
 					if oz == ox || oz == oy {
 						continue
 					}
-					w := settledWeight(st.bits[ox], st.bits[oy], st.bits[oz])
-					cands = append(cands, cand{st, ox, oy, oz, st.acc + w})
+					cands = append(cands, cand{st, ox, oy, oz, 0})
 				}
 			}
+		}
+		// ...then score them in parallel: settledWeight over the term
+		// bitsets is the hot loop, and each task only reads beam state.
+		workers := max(1, opt.Workers)
+		if len(cands) < scoreFanoutCutoff {
+			workers = 1 // dispatch would cost more than the scoring
+		}
+		if err := parallel.ForEachChunk(ctx, len(cands), workers, func(lo, hi int) error {
+			for j := lo; j < hi; j++ {
+				c := &cands[j]
+				st := c.parent
+				c.acc = st.acc + settledWeight(st.bits[c.ox], st.bits[c.oy], st.bits[c.oz])
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		sort.SliceStable(cands, func(a, b int) bool { return cands[a].acc < cands[b].acc })
 		if len(cands) > width {
@@ -83,9 +127,14 @@ func BuildBeamCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, width in
 	// Beam search can prune the greedy path (it keeps the global top-k by
 	// accumulated weight, which need not contain greedy's trajectory), so
 	// keep the greedy result as an incumbent: BuildBeam never returns a
-	// worse mapping than Build.
+	// worse mapping than Build. The incumbent shares this search's
+	// context and worker pool.
 	if width > 1 {
-		if greedy := Build(mh); greedy.PredictedWeight < best.acc {
+		greedy, err := BuildWithOptionsCtx(ctx, mh, BuildOptions{Workers: opt.Workers})
+		if err != nil {
+			return nil, err
+		}
+		if greedy.PredictedWeight < best.acc {
 			greedy.Mapping.Name = "HATT-beam"
 			return greedy, nil
 		}

@@ -68,48 +68,12 @@ func buildUnoptBuilder(p *problem) *builder {
 // the triple generated directly from the even-descendant partner, so this
 // implementation enumerates only nodes with even Z-descendants (≠ 2N) as
 // O_X, visiting the same candidate set once.
+// Build memoizes completed constructions (see memo.go): repeated calls
+// on an identical Hamiltonian replay the cached merge schedule instead of
+// re-running the greedy search, returning a fresh tree and mapping each
+// time. BuildUncached additionally skips the memo.
 func Build(mh *fermion.MajoranaHamiltonian) *Result {
-	p := newProblem(mh)
-	b := newBuilder(p)
-	n := p.n
-	for i := 0; i < n; i++ {
-		bestW := int(^uint(0) >> 1)
-		var bx, by, bz int
-		found := false
-		for _, ox := range b.u {
-			x := b.mdown[ox] // O(1) descZ (Algorithm 3)
-			if x%2 == 1 || x == 2*n {
-				// Odd descendants are covered by their even partner's
-				// iteration; leaf 2N never pairs (its string is discarded).
-				continue
-			}
-			oy := b.mup[x+1] // O(1) traverse-up (Algorithm 3)
-			if oy == ox {
-				continue // cannot happen by Lemma 1; defensive
-			}
-			for _, oz := range b.u {
-				if oz == ox || oz == oy {
-					continue
-				}
-				w := settledWeight(b.bits[ox], b.bits[oy], b.bits[oz])
-				if w < bestW {
-					bestW = w
-					bx, by, bz = ox, oy, oz
-					found = true
-				}
-			}
-		}
-		if !found {
-			panic("core: no valid vacuum-preserving selection (invariant violated)")
-		}
-		b.merge(i, bx, by, bz)
-	}
-	t := b.finish()
-	return &Result{
-		Mapping:         mapping.FromTreeByLeafID("HATT", t),
-		Tree:            t,
-		PredictedWeight: b.predicted,
-	}
+	return BuildWithOptions(mh, BuildOptions{})
 }
 
 // BuildUncached runs Algorithm 2 *without* the Algorithm 3 caches: the

@@ -35,6 +35,12 @@ func (b termBits) xorInto(dst termBits, other termBits) {
 	}
 }
 
+// scoreFanoutCutoff is the candidate count below which the search
+// methods keep scoring sequential: dispatching a pool over a few dozen
+// settledWeight calls costs more than the calls themselves. Above it,
+// the per-chunk work dwarfs the dispatch.
+const scoreFanoutCutoff = 256
+
 // settledWeight computes the Pauli weight contributed on one qubit when
 // nodes with term-membership bitsets bx, by, bz become its X, Y, Z
 // children: a term's operator on that qubit is non-identity iff exactly one

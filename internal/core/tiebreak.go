@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 
 	"repro/internal/fermion"
 	"repro/internal/mapping"
+	"repro/internal/parallel"
 )
 
 // TieBreak selects the secondary objective used when several candidate
@@ -28,24 +30,66 @@ const (
 	TieSupport
 )
 
-// BuildOptions configures BuildWithOptions.
+// BuildOptions configures BuildWithOptions / BuildWithOptionsCtx.
 type BuildOptions struct {
 	TieBreak TieBreak
+	// Workers fans candidate scoring out over a bounded pool; values
+	// below 2 keep the scan sequential. The selected merge — and hence
+	// the mapping — is identical at every worker count.
+	Workers int
+	// NoMemo bypasses the build memo, forcing a full construction. Used
+	// by benchmarks that time the search itself.
+	NoMemo bool
 }
 
-// BuildWithOptions is Build (Algorithms 2+3) with a configurable
-// tie-breaking policy. BuildWithOptions(mh, BuildOptions{}) is equivalent
-// to Build(mh).
+// BuildWithOptions is BuildWithOptionsCtx with a background context. It
+// never returns an error: with no cancellable context the only failure
+// is a panic inside a pool worker, which is re-raised rather than
+// silently returning nil.
 func BuildWithOptions(mh *fermion.MajoranaHamiltonian, opts BuildOptions) *Result {
+	res, err := BuildWithOptionsCtx(context.Background(), mh, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BuildWithOptionsCtx is Build (Algorithms 2+3) with a configurable
+// tie-breaking policy and parallel candidate scoring.
+// BuildWithOptionsCtx(ctx, mh, BuildOptions{}) selects exactly the merges
+// Build selects.
+//
+// Completed constructions are memoized (see memo.go) unless NoMemo is
+// set; the context is checked once per construction step, so
+// cancellation returns (nil, ctx.Err()) within one step.
+func BuildWithOptionsCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts BuildOptions) (*Result, error) {
+	canon := canonicalKey(mh)
+	key := buildMemoKey{fp: fingerprint(canon), tb: opts.TieBreak}
+	if !opts.NoMemo {
+		e, hit, release, err := memoAcquire(ctx, key, canon)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			return e.replay(mh), nil
+		}
+		defer release()
+	}
+	buildSearches.Add(1)
 	p := newProblem(mh)
 	b := newBuilder(p)
 	n := p.n
 	depth := make([]int, 3*n+1) // leaves depth 0
+	type cand struct{ ox, oy, oz int }
+	var cands []cand
+	var scores []int
 	for i := 0; i < n; i++ {
-		bestW := int(^uint(0) >> 1)
-		bestTie := int(^uint(0) >> 1)
-		var bx, by, bz int
-		found := false
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Enumerate the vacuum-preserving candidate triples in the same
+		// order as Build (cheap index work, kept sequential)...
+		cands = cands[:0]
 		for _, ox := range b.u {
 			x := b.mdown[ox]
 			if x%2 == 1 || x == 2*n {
@@ -59,37 +103,66 @@ func BuildWithOptions(mh *fermion.MajoranaHamiltonian, opts BuildOptions) *Resul
 				if oz == ox || oz == oy {
 					continue
 				}
-				w := settledWeight(b.bits[ox], b.bits[oy], b.bits[oz])
-				if w > bestW {
-					continue
-				}
-				tie := 0
-				switch opts.TieBreak {
-				case TieDepth:
-					tie = 1 + max3(depth[ox], depth[oy], depth[oz])
-				case TieSupport:
-					tie = parentSupport(b.bits[ox], b.bits[oy], b.bits[oz])
-				}
-				if w < bestW || (w == bestW && tie < bestTie) {
-					bestW, bestTie = w, tie
-					bx, by, bz = ox, oy, oz
-					found = true
-				}
+				cands = append(cands, cand{ox, oy, oz})
 			}
 		}
-		if !found {
+		if len(cands) == 0 {
 			panic("core: no valid vacuum-preserving selection (invariant violated)")
 		}
+		// ...score them in parallel (settledWeight dominates the step and
+		// only reads builder state)...
+		if cap(scores) < len(cands) {
+			scores = make([]int, len(cands))
+		}
+		scores = scores[:len(cands)]
+		workers := max(1, opts.Workers)
+		if len(cands) < scoreFanoutCutoff {
+			workers = 1 // dispatch would cost more than the scoring
+		}
+		if err := parallel.ForEachChunk(ctx, len(cands), workers, func(lo, hi int) error {
+			for j := lo; j < hi; j++ {
+				c := cands[j]
+				scores[j] = settledWeight(b.bits[c.ox], b.bits[c.oy], b.bits[c.oz])
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		// ...and reduce in enumeration order, so ties resolve exactly as
+		// the sequential scan would at any worker count.
+		bestW := int(^uint(0) >> 1)
+		bestTie := int(^uint(0) >> 1)
+		bestIdx := -1
+		for j, c := range cands {
+			w := scores[j]
+			if w > bestW {
+				continue
+			}
+			tie := 0
+			switch opts.TieBreak {
+			case TieDepth:
+				tie = 1 + max3(depth[c.ox], depth[c.oy], depth[c.oz])
+			case TieSupport:
+				tie = parentSupport(b.bits[c.ox], b.bits[c.oy], b.bits[c.oz])
+			}
+			if w < bestW || tie < bestTie {
+				bestW, bestTie, bestIdx = w, tie, j
+			}
+		}
+		c := cands[bestIdx]
 		pid := 2*n + 1 + i
-		depth[pid] = 1 + max3(depth[bx], depth[by], depth[bz])
-		b.merge(i, bx, by, bz)
+		depth[pid] = 1 + max3(depth[c.ox], depth[c.oy], depth[c.oz])
+		b.merge(i, c.ox, c.oy, c.oz)
+	}
+	if !opts.NoMemo {
+		memoStore(key, canon, b.log)
 	}
 	t := b.finish()
 	return &Result{
 		Mapping:         mapping.FromTreeByLeafID("HATT", t),
 		Tree:            t,
 		PredictedWeight: b.predicted,
-	}
+	}, nil
 }
 
 func max3(a, b, c int) int {

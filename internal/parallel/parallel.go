@@ -1,0 +1,162 @@
+// Package parallel provides the bounded worker pool shared by every
+// concurrent search in this repository. Its contract is shaped by the
+// compilation engine's reproducibility guarantee: the pool distributes
+// *work* nondeterministically but never *results* — callers index results
+// by task number (Map) or reduce over a deterministic order, so a seeded
+// search returns byte-identical output at any worker count.
+//
+// All entry points honor context cancellation (stopping within one task)
+// and convert panics inside tasks into errors, so a worker goroutine can
+// never crash the process or deadlock its siblings.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values below 1 mean "use
+// every available CPU" (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n), distributing calls over at
+// most `workers` goroutines (normalized by Workers). The first error — or
+// the first panic, converted to an error — cancels the remaining tasks;
+// context cancellation does the same and returns ctx.Err(). With one
+// worker the tasks run inline on the calling goroutine in index order.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := protect(fn, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := protect(fn, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// ForEachChunk splits [0, n) into contiguous ranges and invokes
+// fn(lo, hi) for each over the pool. It is ForEach for tasks too cheap to
+// dispatch one at a time (e.g. scoring one candidate merge): the chunk
+// count is a small multiple of the worker count so the pool stays
+// balanced without per-index scheduling overhead.
+func ForEachChunk(ctx context.Context, n, workers int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers == 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return protectRange(fn, 0, n)
+	}
+	chunks := workers * 8
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	return ForEach(ctx, chunks, workers, func(c int) error {
+		lo := c * size
+		if lo >= n {
+			return nil
+		}
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}
+
+// Map computes out[i] = fn(i) for every i in [0, n) over the pool and
+// returns the results in index order regardless of completion order. A
+// failed or cancelled run returns (nil, err).
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func protect(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+func protectRange(fn func(lo, hi int) error, lo, hi int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("parallel: tasks [%d,%d) panicked: %v", lo, hi, r)
+		}
+	}()
+	return fn(lo, hi)
+}

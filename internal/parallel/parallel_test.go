@@ -1,0 +1,199 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1} {
+		if got := Workers(n); got != want {
+			t.Fatalf("Workers(%d) = %d, want GOMAXPROCS %d", n, got, want)
+		}
+	}
+}
+
+func TestForEachRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		const n = 100
+		var counts [n]atomic.Int32
+		if err := ForEach(context.Background(), n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	err := ForEach(context.Background(), 64, workers, func(i int) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+func TestForEachCancellationMidFanout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	err := ForEach(ctx, 10_000, 4, func(i int) error {
+		if started.Add(1) == 8 {
+			cancel() // cancel from inside the fan-out
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n == 10_000 {
+		t.Fatal("cancellation did not stop the fan-out early")
+	}
+}
+
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEach(ctx, 5, 1, func(i int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("task ran under a pre-cancelled context")
+	}
+}
+
+func TestForEachFirstErrorStopsPool(t *testing.T) {
+	sentinel := errors.New("boom")
+	var after atomic.Int32
+	err := ForEach(context.Background(), 10_000, 4, func(i int) error {
+		if i == 3 {
+			return sentinel
+		}
+		after.Add(1)
+		time.Sleep(20 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if n := after.Load(); n == 9_999 {
+		t.Fatal("error did not stop the remaining tasks")
+	}
+}
+
+func TestForEachPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), 100, workers, func(i int) error {
+			if i == 17 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "panicked: kaboom") {
+			t.Fatalf("workers=%d: err = %v, want panic conversion", workers, err)
+		}
+	}
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 5} {
+		out, err := Map(context.Background(), 50, workers, func(i int) (int, error) {
+			time.Sleep(time.Duration(50-i) * 10 * time.Microsecond) // finish out of order
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapErrorReturnsNil(t *testing.T) {
+	out, err := Map(context.Background(), 10, 2, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("out=%v err=%v, want nil slice and error", out, err)
+	}
+}
+
+func TestForEachChunkCoversRangeExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		for _, workers := range []int{1, 3, 16} {
+			covered := make([]atomic.Int32, n)
+			if err := ForEachChunk(context.Background(), n, workers, func(lo, hi int) error {
+				if lo >= hi {
+					t.Errorf("empty chunk [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+				return nil
+			}); err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i := range covered {
+				if c := covered[i].Load(); c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachChunkPanicBecomesError(t *testing.T) {
+	err := ForEachChunk(context.Background(), 10, 1, func(lo, hi int) error {
+		panic("chunk kaboom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked: chunk kaboom") {
+		t.Fatalf("err = %v, want panic conversion", err)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(i int) error {
+		t.Fatal("task ran")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

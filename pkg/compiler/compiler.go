@@ -17,6 +17,7 @@ package compiler
 
 import (
 	"context"
+	"runtime"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -49,7 +50,17 @@ type Options struct {
 	TermOrder    circuit.TermOrder // term ordering used by Pipeline synthesis
 	TieBreak     TieBreak          // equal-weight candidate policy (hatt)
 	Seed         int64             // RNG seed, 0 = 1 (anneal)
-	Progress     func(ProgressEvent)
+	// Parallelism bounds the worker pool each method fans its search out
+	// over (hatt candidate scoring, beam candidate scoring, anneal
+	// restart chains) and the batch width of CompileBatch/PipelineBatch.
+	// It never changes a method's result: a fixed Seed produces a
+	// byte-identical mapping at every Parallelism value.
+	Parallelism int
+	// AnnealRestarts runs that many independent annealing chains (seeded
+	// Seed, Seed+1, …) and keeps the lowest-weight result, earliest chain
+	// on ties (anneal).
+	AnnealRestarts int
+	Progress       func(ProgressEvent)
 }
 
 // Option mutates Options; see the With* constructors.
@@ -57,14 +68,17 @@ type Option func(*Options)
 
 // NewOptions applies the given options on top of the defaults:
 // beam width 4, visit budget 2,000,000, one Trotter step of time 1.0,
-// lexicographic term order.
+// lexicographic term order, one annealing chain, and parallelism equal
+// to runtime.GOMAXPROCS.
 func NewOptions(opts ...Option) Options {
 	o := Options{
-		BeamWidth:    4,
-		VisitBudget:  2_000_000,
-		TrotterSteps: 1,
-		TrotterTime:  1.0,
-		TermOrder:    circuit.OrderLexicographic,
+		BeamWidth:      4,
+		VisitBudget:    2_000_000,
+		TrotterSteps:   1,
+		TrotterTime:    1.0,
+		TermOrder:      circuit.OrderLexicographic,
+		Parallelism:    runtime.GOMAXPROCS(0),
+		AnnealRestarts: 1,
 	}
 	for _, f := range opts {
 		f(&o)
@@ -99,6 +113,31 @@ func WithTieBreak(tb TieBreak) Option { return func(o *Options) { o.TieBreak = t
 
 // WithSeed seeds the stochastic methods (methods: anneal).
 func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithParallelism bounds the worker pool the search methods and the
+// batch APIs fan out over; n < 1 restores the default
+// (runtime.GOMAXPROCS). Parallelism trades wall time only — for a fixed
+// seed the compiled mapping is byte-identical at every value.
+func WithParallelism(n int) Option {
+	return func(o *Options) {
+		if n < 1 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		o.Parallelism = n
+	}
+}
+
+// WithAnnealRestarts runs n independent annealing chains — seeded Seed,
+// Seed+1, … — concurrently (bounded by Parallelism) and keeps the
+// lowest-weight result, earliest chain on ties (methods: anneal).
+func WithAnnealRestarts(n int) Option {
+	return func(o *Options) {
+		if n < 1 {
+			n = 1
+		}
+		o.AnnealRestarts = n
+	}
+}
 
 // WithProgress registers a callback for ProgressEvents. Every method
 // emits StageStart/StageDone; per-iteration StageSearch events currently

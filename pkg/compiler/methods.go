@@ -68,10 +68,14 @@ func init() {
 	MustRegister(constructive("btt", mapping.BalancedTernaryTree))
 
 	MustRegister(method{name: "hatt", run: func(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts Options) (*Result, error) {
-		if opts.TieBreak != TieFirst {
-			return fromCore("hatt", core.BuildWithOptions(mh, core.BuildOptions{TieBreak: opts.TieBreak})), nil
+		r, err := core.BuildWithOptionsCtx(ctx, mh, core.BuildOptions{
+			TieBreak: opts.TieBreak,
+			Workers:  opts.Parallelism,
+		})
+		if err != nil {
+			return nil, err
 		}
-		return fromCore("hatt", core.Build(mh)), nil
+		return fromCore("hatt", r), nil
 	}})
 
 	MustRegister(method{name: "hatt-unopt", run: func(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts Options) (*Result, error) {
@@ -81,7 +85,10 @@ func init() {
 	MustRegister(method{
 		name: "beam",
 		run: func(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts Options) (*Result, error) {
-			r, err := core.BuildBeamCtx(ctx, mh, opts.BeamWidth)
+			r, err := core.BuildBeamOpts(ctx, mh, core.BeamOptions{
+				Width:   opts.BeamWidth,
+				Workers: opts.Parallelism,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -131,10 +138,12 @@ func init() {
 
 	MustRegister(method{name: "anneal", run: func(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts Options) (*Result, error) {
 		aopts := core.AnnealOptions{
-			Iters:  opts.AnnealIters,
-			TStart: opts.AnnealTStart,
-			TEnd:   opts.AnnealTEnd,
-			Seed:   opts.Seed,
+			Iters:    opts.AnnealIters,
+			TStart:   opts.AnnealTStart,
+			TEnd:     opts.AnnealTEnd,
+			Seed:     opts.Seed,
+			Restarts: opts.AnnealRestarts,
+			Workers:  opts.Parallelism,
 		}
 		if opts.Progress != nil {
 			aopts.Progress = func(iter, iters, best int) {
