@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/prof"
 	"repro/pkg/compiler"
 )
 
@@ -51,7 +52,18 @@ func main() {
 	summary := flag.Bool("summary", false, "print the headline HATT-vs-baseline reductions across Tables I-III")
 	exact := flag.Bool("exact", false, "figure 10: use the density-matrix simulator (exact bias, no shots)")
 	list := flag.Bool("list", false, "list the compiler methods the tables draw from and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	// Error paths below exit through os.Exit and skip this; profiles are
+	// written for runs that complete.
+	defer stopProf()
 
 	if *list {
 		// The tables compile every mapping through pkg/compiler; this is

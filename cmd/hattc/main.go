@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/fermion"
 	"repro/internal/models"
+	"repro/internal/prof"
 	"repro/pkg/compiler"
 )
 
@@ -47,7 +48,15 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "print search progress to stderr")
 	list := flag.Bool("list", false, "list the registered mapping methods and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	if *list {
 		for _, name := range compiler.Methods() {

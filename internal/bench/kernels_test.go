@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/raceflag"
+)
+
+// TestKernelSuiteBeforeAfter pins the PR's acceptance bar: every kernel is
+// measured as a baseline/fast pair, the simulator kernels drop to at least
+// 5× fewer allocations per op, and the pruned BuildUnopt beats the
+// exhaustive scan on the largest bundled molecule.
+func TestKernelSuiteBeforeAfter(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts and kernel timing ratios are unreliable under -race")
+	}
+	ks := KernelSuite()
+	byKernel := map[string]map[string]KernelRecord{}
+	for _, k := range ks {
+		if byKernel[k.Kernel] == nil {
+			byKernel[k.Kernel] = map[string]KernelRecord{}
+		}
+		byKernel[k.Kernel][k.Impl] = k
+	}
+	for name, pair := range byKernel {
+		if _, ok := pair["baseline"]; !ok {
+			t.Fatalf("%s: missing baseline measurement", name)
+		}
+		if _, ok := pair["fast"]; !ok {
+			t.Fatalf("%s: missing fast measurement", name)
+		}
+	}
+	for _, name := range []string{"apply_pauli_14q", "expectation_12q_40t", "mul_majorana_14q", "hamiltonian_add_warm"} {
+		pair, ok := byKernel[name]
+		if !ok {
+			t.Fatalf("kernel %s not measured", name)
+		}
+		base, fast := pair["baseline"], pair["fast"]
+		if base.AllocsPerOp < 1 {
+			t.Fatalf("%s: baseline unexpectedly allocation-free (%.2f/op)", name, base.AllocsPerOp)
+		}
+		if fast.AllocsPerOp > base.AllocsPerOp/5 {
+			t.Fatalf("%s: fast path allocates %.2f/op vs baseline %.2f/op (want ≥5× fewer)",
+				name, fast.AllocsPerOp, base.AllocsPerOp)
+		}
+	}
+	unopt := byKernel["build_unopt_molecule14"]
+	if unopt["fast"].NsPerOp >= unopt["baseline"].NsPerOp {
+		t.Fatalf("build_unopt: prune is not a wall-time win (%.0f ns/op vs %.0f ns/op)",
+			unopt["fast"].NsPerOp, unopt["baseline"].NsPerOp)
+	}
+
+	var tab strings.Builder
+	PrintKernels(&tab, ks)
+	if !strings.Contains(tab.String(), "apply_pauli_14q") {
+		t.Fatal("PrintKernels output incomplete")
+	}
+}

@@ -29,12 +29,13 @@ type PerfRecord struct {
 	Identical    bool    `json:"identical"`     // mappings byte-identical across worker counts
 }
 
-// PerfReport is the full sequential-vs-parallel sweep plus the host
-// facts needed to interpret it.
+// PerfReport is the full sequential-vs-parallel sweep plus the hot-path
+// kernel microbenchmarks and the host facts needed to interpret them.
 type PerfReport struct {
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Workers    int          `json:"workers"`
-	Records    []PerfRecord `json:"records"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Workers    int            `json:"workers"`
+	Records    []PerfRecord   `json:"records"`
+	Kernels    []KernelRecord `json:"kernels,omitempty"`
 }
 
 // perfModels is the model sweep; entries above opt.MaxModes are skipped.
@@ -113,6 +114,7 @@ func PerfSuite(opt Options, workers int) PerfReport {
 			})
 		}
 	}
+	rep.Kernels = KernelSuite()
 	return rep
 }
 
@@ -137,4 +139,5 @@ func PrintPerf(w io.Writer, rep PerfReport) {
 			r.Speedup, r.Identical)
 	}
 	fmt.Fprintln(w)
+	PrintKernels(w, rep.Kernels)
 }

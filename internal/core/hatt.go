@@ -35,6 +35,64 @@ func BuildUnopt(mh *fermion.MajoranaHamiltonian) *Result {
 func buildUnoptBuilder(p *problem) *builder {
 	b := newBuilder(p)
 	n := p.n
+	// Pairwise symmetric-difference popcounts over all node IDs, filled
+	// once for the leaves and extended by one row per merge. For any third
+	// node c, settledWeight(a,b,c) ≥ delta[a][b] (see symDiffWeight), so
+	// the table prunes candidate triples below the incumbent without
+	// touching their bitsets. The selection is identical to the unpruned
+	// scan: pruned triples can never satisfy the strict w < bestW update.
+	ids := 3*n + 1
+	delta := make([]int32, ids*ids)
+	for ai := 0; ai <= 2*n; ai++ {
+		for bi := ai + 1; bi <= 2*n; bi++ {
+			d := int32(symDiffWeight(b.bits[ai], b.bits[bi]))
+			delta[ai*ids+bi] = d
+			delta[bi*ids+ai] = d
+		}
+	}
+	for i := 0; i < n; i++ {
+		bestW := int(^uint(0) >> 1)
+		var bx, by, bz int
+		u := b.u
+		for ai := 0; ai < len(u); ai++ {
+			da := delta[u[ai]*ids:]
+			for bi := ai + 1; bi < len(u); bi++ {
+				if int(da[u[bi]]) >= bestW {
+					continue // no third node can beat the incumbent
+				}
+				db := delta[u[bi]*ids:]
+				for ci := bi + 1; ci < len(u); ci++ {
+					if int(da[u[ci]]) >= bestW || int(db[u[ci]]) >= bestW {
+						continue
+					}
+					w := settledWeight(b.bits[u[ai]], b.bits[u[bi]], b.bits[u[ci]])
+					if w < bestW {
+						bestW = w
+						bx, by, bz = u[ai], u[bi], u[ci]
+					}
+				}
+			}
+		}
+		b.merge(i, bx, by, bz)
+		pid := 2*n + 1 + i
+		for _, id := range b.u {
+			if id == pid {
+				continue
+			}
+			d := int32(symDiffWeight(b.bits[pid], b.bits[id]))
+			delta[pid*ids+id] = d
+			delta[id*ids+pid] = d
+		}
+	}
+	return b
+}
+
+// buildUnoptReference is the unpruned Algorithm 1 scan, kept as the
+// differential oracle for the prune (tests assert merge-schedule equality)
+// and as the before-side of the BuildUnopt benchmark.
+func buildUnoptReference(p *problem) *builder {
+	b := newBuilder(p)
+	n := p.n
 	for i := 0; i < n; i++ {
 		bestW := int(^uint(0) >> 1)
 		var bx, by, bz int
@@ -53,6 +111,19 @@ func buildUnoptBuilder(p *problem) *builder {
 		b.merge(i, bx, by, bz)
 	}
 	return b
+}
+
+// BuildUnoptReference runs BuildUnopt without the pairwise-delta prune.
+// It exists for differential tests and before/after benchmarks; use
+// BuildUnopt everywhere else.
+func BuildUnoptReference(mh *fermion.MajoranaHamiltonian) *Result {
+	b := buildUnoptReference(newProblem(mh))
+	t := b.finish()
+	return &Result{
+		Mapping:         mapping.FromTreeByLeafID("HATT-unopt", t),
+		Tree:            t,
+		PredictedWeight: b.predicted,
+	}
 }
 
 // Build runs the optimized HATT construction (Algorithms 2 and 3): at each

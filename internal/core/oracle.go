@@ -55,6 +55,18 @@ func settledWeight(bx, by, bz termBits) int {
 	return w
 }
 
+// symDiffWeight is the pairwise lower bound feeding the unopt triple-loop
+// prune: |aΔb| = |a∪b| − |a∩b| ≤ |a∪b∪c| − |a∩b∩c| = settledWeight(a,b,c)
+// for every third set c, since the union only grows and the intersection
+// only shrinks.
+func symDiffWeight(a, b termBits) int {
+	w := 0
+	for i := range a {
+		w += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return w
+}
+
 // problem is the preprocessed optimization instance shared by every
 // construction in this package: one bitset per Majorana leaf recording the
 // Hamiltonian terms that contain it.

@@ -76,10 +76,14 @@ func (m *Mapping) Apply(mh *fermion.MajoranaHamiltonian) *pauli.Hamiltonian {
 		panic(fmt.Sprintf("mapping %s: Hamiltonian on %d modes, mapping on %d", m.Name, mh.Modes, m.Modes))
 	}
 	h := pauli.NewHamiltonian(m.Qubits())
+	// One reused accumulator string per call: each monomial is multiplied
+	// out in place and handed to the fingerprint-keyed Add, so the
+	// substitution allocates only when a new term is first stored.
+	s := pauli.Identity(m.Qubits())
 	for _, t := range mh.Terms {
-		s := pauli.Identity(m.Qubits())
+		s.Reset()
 		for _, idx := range t.Indices {
-			s = s.Mul(m.Majoranas[idx])
+			s.MulAssign(m.Majoranas[idx])
 		}
 		h.Add(t.Coeff, s)
 	}
@@ -112,22 +116,13 @@ func (m *Mapping) VacuumPreserved() bool {
 }
 
 // actionOnZero returns the amplitude and flip mask of s|0…0⟩ = amp·|mask⟩.
-// Requires N ≤ 64 qubits for the mask; amplitudes are exact.
+// Requires N ≤ 64 qubits for the mask; amplitudes are exact. In the
+// symplectic form s = i^Phase·X^x·Z^z the Z factor fixes |0…0⟩, so the
+// amplitude is exactly i^Phase and the mask is the X bitset (each Y
+// letter's i from Y|0⟩ = i|1⟩ is already folded into Phase).
 func actionOnZero(s pauli.String) (complex128, uint64) {
-	amp := s.LetterCoeff()
-	var mask uint64
-	for _, q := range s.Support() {
-		switch s.Letter(q) {
-		case pauli.X:
-			mask |= 1 << uint(q)
-		case pauli.Y:
-			mask |= 1 << uint(q)
-			amp *= complex(0, 1) // Y|0⟩ = i|1⟩
-		case pauli.Z:
-			// Z|0⟩ = |0⟩
-		}
-	}
-	return amp, mask
+	x, _ := s.Masks64()
+	return s.PhaseCoeff(), x
 }
 
 // HamiltonianWeight is the paper's primary metric: the total Pauli weight

@@ -3,9 +3,11 @@ package pauli
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/cmplx"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Term is one weighted Pauli string of a qubit Hamiltonian. The phase of S
@@ -19,37 +21,94 @@ type Term struct {
 // Hamiltonian is a weighted sum of Pauli strings on a fixed qubit count.
 // Terms with coincident letters are merged. The zero value is unusable;
 // construct with NewHamiltonian.
+//
+// Terms are keyed by the 128-bit letter Fingerprint, which is exact for
+// n ≤ 64 and verified on every lookup beyond that: a hash collision
+// between distinct letter patterns spills the newcomer into an overflow
+// map keyed by the exact Key() string, so results are always correct and
+// the hot path (warm Add, Coeff) never builds a key string.
+//
+// Mutation (Add, Prune, …) is not safe for concurrent use; read-side
+// methods, including the lazily cached Terms(), are.
 type Hamiltonian struct {
 	n     int
-	terms map[string]Term
+	terms map[Fingerprint]Term
+	// extra holds true 128-bit collisions (same fingerprint, different
+	// letters); nil until one occurs, which for n ≤ 64 is never.
+	extra map[string]Term
+
+	// sorted caches the Terms() slice until the next mutation; mu guards
+	// its lazy fill so concurrent readers are safe.
+	mu     sync.Mutex
+	sorted []Term
 }
 
 // NewHamiltonian returns an empty Hamiltonian on n qubits.
 func NewHamiltonian(n int) *Hamiltonian {
-	return &Hamiltonian{n: n, terms: make(map[string]Term)}
+	return &Hamiltonian{n: n, terms: make(map[Fingerprint]Term)}
 }
 
 // N returns the number of qubits.
 func (h *Hamiltonian) N() int { return h.n }
 
+// invalidate drops the cached sorted slice after a mutation.
+func (h *Hamiltonian) invalidate() {
+	if h.sorted != nil {
+		h.mu.Lock()
+		h.sorted = nil
+		h.mu.Unlock()
+	}
+}
+
 // Add accumulates c·s into the Hamiltonian. The stored term is the
 // letter-form string (LetterPhase 0); any excess phase of s is folded into
-// the coefficient so that Σ Coeff·letters reproduces c·s exactly.
+// the coefficient so that Σ Coeff·letters reproduces c·s exactly. Adding
+// to an existing term allocates nothing.
 func (h *Hamiltonian) Add(c complex128, s String) {
 	if s.N() != h.n {
 		panic(fmt.Sprintf("pauli: term on %d qubits added to %d-qubit Hamiltonian", s.N(), h.n))
 	}
+	h.invalidate()
 	c *= s.LetterCoeff()
-	canon := s.Clone()
-	canon.phase = uint8(canon.yCount() & 3) // LetterPhase 0
-	k := canon.Key()
-	t, ok := h.terms[k]
-	if !ok {
-		h.terms[k] = Term{Coeff: c, S: canon}
+	fp := s.Fingerprint()
+	if t, ok := h.terms[fp]; ok {
+		if t.S.EqualUpToPhase(s) {
+			t.Coeff += c
+			h.terms[fp] = t
+			return
+		}
+		// Fingerprint collision with different letters: exact-keyed spill.
+		if h.extra == nil {
+			h.extra = make(map[string]Term)
+		}
+		k := s.Key()
+		if t, ok := h.extra[k]; ok {
+			t.Coeff += c
+			h.extra[k] = t
+			return
+		}
+		h.extra[k] = Term{Coeff: c, S: canonical(s)}
 		return
 	}
-	t.Coeff += c
-	h.terms[k] = t
+	// A primary-slot miss may still be a spilled term whose colliding
+	// primary was pruned away; the overflow map stays authoritative for
+	// its keys so the term is never stored twice.
+	if h.extra != nil {
+		k := s.Key()
+		if t, ok := h.extra[k]; ok {
+			t.Coeff += c
+			h.extra[k] = t
+			return
+		}
+	}
+	h.terms[fp] = Term{Coeff: c, S: canonical(s)}
+}
+
+// canonical deep-copies s with its phase normalized to LetterPhase 0.
+func canonical(s String) String {
+	c := s.Clone()
+	c.phase = uint8(c.yCount() & 3)
+	return c
 }
 
 // AddHamiltonian accumulates c·g into h.
@@ -57,36 +116,55 @@ func (h *Hamiltonian) AddHamiltonian(c complex128, g *Hamiltonian) {
 	for _, t := range g.terms {
 		h.Add(c*t.Coeff, t.S)
 	}
+	for _, t := range g.extra {
+		h.Add(c*t.Coeff, t.S)
+	}
 }
 
 // Prune removes terms whose coefficient magnitude is at most eps.
 func (h *Hamiltonian) Prune(eps float64) {
+	h.invalidate()
 	for k, t := range h.terms {
 		if cmplx.Abs(t.Coeff) <= eps {
 			delete(h.terms, k)
+		}
+	}
+	for k, t := range h.extra {
+		if cmplx.Abs(t.Coeff) <= eps {
+			delete(h.extra, k)
 		}
 	}
 }
 
 // Len returns the number of stored terms (including a possible identity
 // term).
-func (h *Hamiltonian) Len() int { return len(h.terms) }
+func (h *Hamiltonian) Len() int { return len(h.terms) + len(h.extra) }
 
-// Terms returns the terms sorted by descending |coeff| then by string form,
-// giving deterministic iteration order.
+// Terms returns the terms sorted by descending |coeff| then by symplectic
+// letter order, giving deterministic iteration order. The slice is cached
+// until the next mutation and shared between callers: treat it as
+// read-only.
 func (h *Hamiltonian) Terms() []Term {
-	ts := make([]Term, 0, len(h.terms))
-	for _, t := range h.terms {
-		ts = append(ts, t)
-	}
-	sort.Slice(ts, func(i, j int) bool {
-		ai, aj := cmplx.Abs(ts[i].Coeff), cmplx.Abs(ts[j].Coeff)
-		if math.Abs(ai-aj) > 1e-15 {
-			return ai > aj
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.sorted == nil {
+		ts := make([]Term, 0, len(h.terms)+len(h.extra))
+		for _, t := range h.terms {
+			ts = append(ts, t)
 		}
-		return ts[i].S.Key() < ts[j].S.Key()
-	})
-	return ts
+		for _, t := range h.extra {
+			ts = append(ts, t)
+		}
+		sort.Slice(ts, func(i, j int) bool {
+			ai, aj := cmplx.Abs(ts[i].Coeff), cmplx.Abs(ts[j].Coeff)
+			if math.Abs(ai-aj) > 1e-15 {
+				return ai > aj
+			}
+			return ts[i].S.CompareSymplectic(ts[j].S) < 0
+		})
+		h.sorted = ts
+	}
+	return h.sorted
 }
 
 // Weight returns the total Pauli weight: the sum of weights of all terms
@@ -95,6 +173,11 @@ func (h *Hamiltonian) Terms() []Term {
 func (h *Hamiltonian) Weight() int {
 	w := 0
 	for _, t := range h.terms {
+		if cmplx.Abs(t.Coeff) > 1e-12 {
+			w += t.S.Weight()
+		}
+	}
+	for _, t := range h.extra {
 		if cmplx.Abs(t.Coeff) > 1e-12 {
 			w += t.S.Weight()
 		}
@@ -111,14 +194,28 @@ func (h *Hamiltonian) NonIdentityTerms() int {
 			c++
 		}
 	}
+	for _, t := range h.extra {
+		if cmplx.Abs(t.Coeff) > 1e-12 && !t.S.IsIdentity() {
+			c++
+		}
+	}
 	return c
 }
 
 // Coeff returns the coefficient of the letter form of s in h, scaled by any
 // excess phase of s, so that h.Coeff(s)·s is the stored contribution. For a
-// plain letter-form query this is simply the stored coefficient.
+// plain letter-form query this is simply the stored coefficient. The
+// lookup allocates nothing.
 func (h *Hamiltonian) Coeff(s String) complex128 {
-	t, ok := h.terms[s.Key()]
+	t, ok := h.terms[s.Fingerprint()]
+	if ok && !t.S.EqualUpToPhase(s) {
+		ok = false
+	}
+	if !ok && h.extra != nil {
+		// Spilled collision entries stay valid even after their primary
+		// counterpart is pruned, so consult the overflow on any miss.
+		t, ok = h.extra[s.Key()]
+	}
 	if !ok {
 		return 0
 	}
@@ -135,6 +232,11 @@ func (h *Hamiltonian) IsHermitian(eps float64) bool {
 			return false
 		}
 	}
+	for _, t := range h.extra {
+		if math.Abs(imag(t.Coeff)) > eps {
+			return false
+		}
+	}
 	return true
 }
 
@@ -144,9 +246,11 @@ func (h *Hamiltonian) Mul(g *Hamiltonian) *Hamiltonian {
 		panic("pauli: Hamiltonian size mismatch")
 	}
 	r := NewHamiltonian(h.n)
-	for _, a := range h.terms {
-		for _, b := range g.terms {
-			r.Add(a.Coeff*b.Coeff, a.S.Mul(b.S))
+	scratch := Identity(h.n)
+	for _, a := range h.Terms() {
+		for _, b := range g.Terms() {
+			a.S.MulInto(&scratch, b.S)
+			r.Add(a.Coeff*b.Coeff, scratch)
 		}
 	}
 	r.Prune(1e-14)
@@ -160,30 +264,40 @@ func (h *Hamiltonian) Trace() complex128 {
 
 // ExpectationOnBasis returns ⟨b|h|b⟩ for a computational-basis state given
 // as bit i of b = occupation of qubit i. Only diagonal (I/Z-only) terms
-// contribute.
+// contribute: those with no X bits anywhere, whose sign is the parity of
+// the occupied Z positions (positions ≥ 64 read b as unoccupied, matching
+// the uint64 argument).
 func (h *Hamiltonian) ExpectationOnBasis(b uint64) complex128 {
 	var e complex128
-	for _, t := range h.terms {
-		sign := complex128(1)
+	h.forEachUnsorted(func(t Term) {
 		diag := true
-		for _, q := range t.S.Support() {
-			switch t.S.Letter(q) {
-			case Z:
-				if b>>uint(q)&1 == 1 {
-					sign = -sign
-				}
-			default:
+		for _, w := range t.S.x {
+			if w != 0 {
 				diag = false
-			}
-			if !diag {
 				break
 			}
 		}
-		if diag {
-			e += t.Coeff * sign
+		if !diag {
+			return
 		}
-	}
+		if len(t.S.z) > 0 && bits.OnesCount64(t.S.z[0]&b)&1 == 1 {
+			e -= t.Coeff
+		} else {
+			e += t.Coeff
+		}
+	})
 	return e
+}
+
+// forEachUnsorted visits every term in unspecified order without building
+// the sorted cache.
+func (h *Hamiltonian) forEachUnsorted(f func(Term)) {
+	for _, t := range h.terms {
+		f(t)
+	}
+	for _, t := range h.extra {
+		f(t)
+	}
 }
 
 // String renders the Hamiltonian as a sum of compact terms in deterministic

@@ -204,35 +204,19 @@ func (s String) IsIdentity() bool {
 }
 
 // Support returns the sorted list of qubits with non-identity letters.
+// SupportAppend is the allocation-free variant.
 func (s String) Support() []int {
-	var qs []int
-	for w := range s.x {
-		m := s.x[w] | s.z[w]
-		for m != 0 {
-			b := bits.TrailingZeros64(m)
-			qs = append(qs, w*64+b)
-			m &= m - 1
-		}
-	}
-	return qs
+	return s.SupportAppend(nil)
 }
 
 // Mul returns the product s·t (s applied after t in operator order), with
 // exact phase tracking. Panics if the qubit counts differ.
+// Reordering X^xa Z^za · X^xb Z^zb → X^(xa^xb) Z^(za^zb) picks up
+// (-1)^{za·xb}; squared factors X², Z² are identity with no phase.
+// MulInto and MulAssign are the allocation-free variants.
 func (s String) Mul(t String) String {
-	if s.n != t.n {
-		panic(fmt.Sprintf("pauli: size mismatch %d vs %d", s.n, t.n))
-	}
-	r := String{n: s.n, x: make([]uint64, len(s.x)), z: make([]uint64, len(s.z))}
-	// Reordering X^xa Z^za · X^xb Z^zb → X^(xa^xb) Z^(za^zb) picks up
-	// (-1)^{za·xb}; squared factors X², Z² are identity with no phase.
-	anti := 0
-	for i := range s.x {
-		anti += bits.OnesCount64(s.z[i] & t.x[i])
-		r.x[i] = s.x[i] ^ t.x[i]
-		r.z[i] = s.z[i] ^ t.z[i]
-	}
-	r.phase = (s.phase + t.phase + uint8(anti%2)*2) & 3
+	var r String
+	s.MulInto(&r, t)
 	return r
 }
 

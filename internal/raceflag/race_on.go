@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag reports whether the race detector is compiled in.
+// Allocation-gate tests skip under -race: the instrumented runtime may
+// allocate on paths that are allocation-free in normal builds, and the
+// race job's purpose is the equivalence fuzz seeds, not alloc counting.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -16,6 +16,9 @@ type Density struct {
 	N   int
 	dim int
 	Rho []complex128 // row-major dim×dim
+	// scratch is the reused channel-sum buffer of the depolarizing
+	// channels, so noisy circuit evolution allocates nothing per gate.
+	scratch []complex128
 }
 
 // NewDensity returns ρ = |0…0⟩⟨0…0| on n qubits.
@@ -114,65 +117,98 @@ func (d *Density) ApplyGate(g circuit.Gate) {
 	d.applyGateRight(g)
 }
 
-// conjugatePauli computes ρ ← PρP† for a Hermitian Pauli string.
+// conjugatePauli computes ρ ← PρP† for a Hermitian Pauli string, in place.
 func (d *Density) conjugatePauli(p pauli.String) {
-	d.pauliLeft(p)
-	d.pauliRight(p)
+	m := masksFor(p)
+	d.pauliLeft(m)
+	d.pauliRight(m)
 }
 
-func pauliAction(p pauli.String) (flip int, phase func(i int) complex128) {
-	sup := p.Support()
-	var f int
-	for _, q := range sup {
-		if l := p.Letter(q); l == pauli.X || l == pauli.Y {
-			f |= 1 << uint(q)
-		}
-	}
-	coeff := p.LetterCoeff()
-	return f, func(i int) complex128 {
-		amp := coeff
-		for _, q := range sup {
-			bit := i >> uint(q) & 1
-			switch p.Letter(q) {
-			case pauli.Z:
-				if bit == 1 {
-					amp = -amp
-				}
-			case pauli.Y:
-				if bit == 0 {
-					amp *= complex(0, 1)
-				} else {
-					amp *= complex(0, -1)
-				}
+// pauliLeft computes ρ ← Pρ in place: row i moves to row i⊕flip scaled by
+// the source row's phase, so rows are processed in (i, i⊕flip) pairs.
+func (d *Density) pauliLeft(m pauliMasks) {
+	if m.flip == 0 {
+		for i := 0; i < d.dim; i++ {
+			ph := m.amp(i)
+			row := i * d.dim
+			for c := 0; c < d.dim; c++ {
+				d.Rho[row+c] *= ph
 			}
 		}
-		return amp
+		return
 	}
-}
-
-func (d *Density) pauliLeft(p pauli.String) {
-	flip, phase := pauliAction(p)
-	out := make([]complex128, len(d.Rho))
+	pair := m.pairBit()
 	for i := 0; i < d.dim; i++ {
-		ph := phase(i)
-		src, dst := i*d.dim, (i^flip)*d.dim
+		if uint64(i)&pair != 0 {
+			continue
+		}
+		j := i ^ int(m.flip)
+		phI, phJ := m.amp(i), m.amp(j)
+		ri, rj := i*d.dim, j*d.dim
 		for c := 0; c < d.dim; c++ {
-			out[dst+c] = ph * d.Rho[src+c]
+			a, b := d.Rho[ri+c], d.Rho[rj+c]
+			d.Rho[rj+c] = phI * a
+			d.Rho[ri+c] = phJ * b
 		}
 	}
-	d.Rho = out
 }
 
-func (d *Density) pauliRight(p pauli.String) {
-	flip, phase := pauliAction(p)
-	out := make([]complex128, len(d.Rho))
-	for c := 0; c < d.dim; c++ {
-		ph := cmplx.Conj(phase(c))
-		for r := 0; r < d.dim; r++ {
-			out[r*d.dim+(c^flip)] = d.Rho[r*d.dim+c] * ph
+// pauliRight computes ρ ← ρP† in place: column c moves to column c⊕flip
+// scaled by conj of the source column's phase.
+func (d *Density) pauliRight(m pauliMasks) {
+	if m.flip == 0 {
+		for c := 0; c < d.dim; c++ {
+			ph := cmplx.Conj(m.amp(c))
+			for r := 0; r < d.dim; r++ {
+				d.Rho[r*d.dim+c] *= ph
+			}
+		}
+		return
+	}
+	pair := m.pairBit()
+	for r := 0; r < d.dim; r++ {
+		row := r * d.dim
+		for c := 0; c < d.dim; c++ {
+			if uint64(c)&pair != 0 {
+				continue
+			}
+			j := c ^ int(m.flip)
+			a, b := d.Rho[row+c], d.Rho[row+j]
+			d.Rho[row+j] = a * cmplx.Conj(m.amp(c))
+			d.Rho[row+c] = b * cmplx.Conj(m.amp(j))
 		}
 	}
-	d.Rho = out
+}
+
+// accumulateConjugations sums PρP over the given Pauli strings into the
+// reused scratch buffer and returns it, leaving ρ unchanged. Conjugation by
+// a Hermitian Pauli is exactly involutory in floating point (every factor
+// is ±1 or ±i), so each term is applied in place and then undone instead
+// of restoring from a copy.
+func (d *Density) accumulateConjugations(ps []pauli.String) []complex128 {
+	if cap(d.scratch) < len(d.Rho) {
+		d.scratch = make([]complex128, len(d.Rho))
+	}
+	acc := d.scratch[:len(d.Rho)]
+	for i := range acc {
+		acc[i] = 0
+	}
+	for _, p := range ps {
+		d.conjugatePauli(p)
+		for i := range acc {
+			acc[i] += d.Rho[i]
+		}
+		d.conjugatePauli(p) // exact undo
+	}
+	return acc
+}
+
+// mixChannel applies ρ ← (1−p)ρ + (p/k)·acc for k-term channel sum acc.
+func (d *Density) mixChannel(p float64, k int, acc []complex128) {
+	cp, ca := complex(1-p, 0), complex(p/float64(k), 0)
+	for i := range d.Rho {
+		d.Rho[i] = cp*d.Rho[i] + ca*acc[i]
+	}
 }
 
 // Depolarize1 applies the single-qubit depolarizing channel on qubit q:
@@ -181,20 +217,13 @@ func (d *Density) Depolarize1(q int, p float64) {
 	if p <= 0 {
 		return
 	}
-	orig := append([]complex128{}, d.Rho...)
-	acc := make([]complex128, len(d.Rho))
+	ps := make([]pauli.String, 0, 3)
 	for _, l := range []pauli.Letter{pauli.X, pauli.Y, pauli.Z} {
-		ps := pauli.Identity(d.N)
-		ps.SetLetter(q, l)
-		d.Rho = append([]complex128{}, orig...)
-		d.conjugatePauli(ps)
-		for i := range acc {
-			acc[i] += d.Rho[i]
-		}
+		s := pauli.Identity(d.N)
+		s.SetLetter(q, l)
+		ps = append(ps, s)
 	}
-	for i := range d.Rho {
-		d.Rho[i] = complex(1-p, 0)*orig[i] + complex(p/3, 0)*acc[i]
-	}
+	d.mixChannel(p, 3, d.accumulateConjugations(ps))
 }
 
 // Depolarize2 applies the two-qubit depolarizing channel on qubits a, b:
@@ -203,31 +232,24 @@ func (d *Density) Depolarize2(a, b int, p float64) {
 	if p <= 0 {
 		return
 	}
-	orig := append([]complex128{}, d.Rho...)
-	acc := make([]complex128, len(d.Rho))
+	ps := make([]pauli.String, 0, 15)
 	letters := []pauli.Letter{pauli.I, pauli.X, pauli.Y, pauli.Z}
 	for _, la := range letters {
 		for _, lb := range letters {
 			if la == pauli.I && lb == pauli.I {
 				continue
 			}
-			ps := pauli.Identity(d.N)
+			s := pauli.Identity(d.N)
 			if la != pauli.I {
-				ps.SetLetter(a, la)
+				s.SetLetter(a, la)
 			}
 			if lb != pauli.I {
-				ps.SetLetter(b, lb)
+				s.SetLetter(b, lb)
 			}
-			d.Rho = append([]complex128{}, orig...)
-			d.conjugatePauli(ps)
-			for i := range acc {
-				acc[i] += d.Rho[i]
-			}
+			ps = append(ps, s)
 		}
 	}
-	for i := range d.Rho {
-		d.Rho[i] = complex(1-p, 0)*orig[i] + complex(p/15, 0)*acc[i]
-	}
+	d.mixChannel(p, 15, d.accumulateConjugations(ps))
 }
 
 // ApplyNoisyCircuit runs the circuit with the depolarizing channels of the
@@ -247,12 +269,13 @@ func (d *Density) ApplyNoisyCircuit(c *circuit.Circuit, nm NoiseModel) {
 	}
 }
 
-// ExpectationString returns tr(ρ·P).
+// ExpectationString returns tr(ρ·P) in one pass over the anti-diagonal
+// band the X-mask selects.
 func (d *Density) ExpectationString(p pauli.String) complex128 {
-	flip, phase := pauliAction(p)
+	m := masksFor(p)
 	var e complex128
 	for i := 0; i < d.dim; i++ {
-		e += phase(i) * d.Rho[i*d.dim+(i^flip)]
+		e += m.amp(i) * d.Rho[i*d.dim+(i^int(m.flip))]
 	}
 	return e
 }

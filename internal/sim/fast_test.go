@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pauli"
+	"repro/internal/raceflag"
+)
+
+func randomState(r *rand.Rand, n int) *State {
+	s := NewState(n)
+	norm := 0.0
+	for i := range s.Amp {
+		s.Amp[i] = complex(r.NormFloat64(), r.NormFloat64())
+		norm += real(s.Amp[i])*real(s.Amp[i]) + imag(s.Amp[i])*imag(s.Amp[i])
+	}
+	scale := complex(1/sqrt(norm), 0)
+	for i := range s.Amp {
+		s.Amp[i] *= scale
+	}
+	return s
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func randomPauli(r *rand.Rand, n int) pauli.String {
+	s := pauli.Identity(n)
+	for q := 0; q < n; q++ {
+		s.SetLetter(q, pauli.Letter(r.Intn(4)))
+	}
+	return s
+}
+
+func statesClose(t *testing.T, a, b *State, context string) {
+	t.Helper()
+	for i := range a.Amp {
+		if cmplx.Abs(a.Amp[i]-b.Amp[i]) > 1e-12 {
+			t.Fatalf("%s: amplitude %d diverges: %v vs %v", context, i, a.Amp[i], b.Amp[i])
+		}
+	}
+}
+
+// TestApplyPauliMatchesSlow is the differential oracle for the mask-based
+// fast path: on random states and strings (including phased ones) the
+// in-place masked ApplyPauli must reproduce the per-letter reference.
+func TestApplyPauliMatchesSlow(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(8)
+		p := randomPauli(r, n)
+		st := randomState(r, n)
+		fast := st.Clone()
+		slow := st.Clone()
+		fast.ApplyPauli(p)
+		slow.ApplyPauliSlow(p)
+		statesClose(t, fast, slow, p.String())
+	}
+}
+
+func FuzzApplyPauliEquivalence(f *testing.F) {
+	f.Add(uint8(3), uint64(0b101), uint64(0b011), int64(1))
+	f.Add(uint8(6), uint64(0), uint64(0b111111), int64(2))
+	f.Add(uint8(1), uint64(1), uint64(1), int64(3))
+	f.Fuzz(func(t *testing.T, nRaw uint8, xm, zm uint64, seed int64) {
+		n := 1 + int(nRaw)%8
+		mask := uint64(1)<<uint(n) - 1
+		p := pauli.Identity(n)
+		for q := 0; q < n; q++ {
+			xb := xm & mask >> uint(q) & 1
+			zb := zm & mask >> uint(q) & 1
+			switch {
+			case xb == 1 && zb == 1:
+				p.SetLetter(q, pauli.Y)
+			case xb == 1:
+				p.SetLetter(q, pauli.X)
+			case zb == 1:
+				p.SetLetter(q, pauli.Z)
+			}
+		}
+		st := randomState(rand.New(rand.NewSource(seed)), n)
+		fast := st.Clone()
+		slow := st.Clone()
+		fast.ApplyPauli(p)
+		slow.ApplyPauliSlow(p)
+		for i := range fast.Amp {
+			if cmplx.Abs(fast.Amp[i]-slow.Amp[i]) > 1e-12 {
+				t.Fatalf("amplitude %d diverges: %v vs %v", i, fast.Amp[i], slow.Amp[i])
+			}
+		}
+	})
+}
+
+// TestExpectationStringMatchesClone checks the streaming expectation
+// against the clone-and-apply definition it replaced.
+func TestExpectationStringMatchesClone(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(8)
+		p := randomPauli(r, n)
+		st := randomState(r, n)
+		got := st.ExpectationString(p)
+		ref := st.Clone()
+		ref.ApplyPauliSlow(p)
+		var want complex128
+		for i := range st.Amp {
+			want += cmplx.Conj(st.Amp[i]) * ref.Amp[i]
+		}
+		if cmplx.Abs(got-want) > 1e-12 {
+			t.Fatalf("⟨%s⟩ = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// --- Allocation gates -------------------------------------------------------
+
+func TestZeroAllocApplyPauli(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	r := rand.New(rand.NewSource(31))
+	st := randomState(r, 10)
+	p := randomPauli(r, 10)
+	if n := testing.AllocsPerRun(100, func() {
+		st.ApplyPauli(p)
+	}); n != 0 {
+		t.Fatalf("ApplyPauli allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestZeroAllocExpectation(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	r := rand.New(rand.NewSource(37))
+	st := randomState(r, 8)
+	p := randomPauli(r, 8)
+	if n := testing.AllocsPerRun(100, func() {
+		_ = st.ExpectationString(p)
+	}); n != 0 {
+		t.Fatalf("ExpectationString allocates %.1f/op, want 0", n)
+	}
+
+	h := pauli.NewHamiltonian(8)
+	for i := 0; i < 24; i++ {
+		h.Add(complex(r.NormFloat64(), 0), randomPauli(r, 8))
+	}
+	_ = st.Expectation(h) // warm the term cache
+	if n := testing.AllocsPerRun(100, func() {
+		_ = st.Expectation(h)
+	}); n != 0 {
+		t.Fatalf("warm Expectation allocates %.1f/op, want 0", n)
+	}
+}
+
+// --- Before/after kernel benchmarks ----------------------------------------
+
+func benchApplyPauli(b *testing.B, slow bool) {
+	r := rand.New(rand.NewSource(41))
+	st := randomState(r, 14)
+	p := randomPauli(r, 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if slow {
+			st.ApplyPauliSlow(p)
+		} else {
+			st.ApplyPauli(p)
+		}
+	}
+}
+
+func BenchmarkApplyPauliFast(b *testing.B) { benchApplyPauli(b, false) }
+func BenchmarkApplyPauliSlow(b *testing.B) { benchApplyPauli(b, true) }
+
+func benchExpectation(b *testing.B, slow bool) {
+	r := rand.New(rand.NewSource(43))
+	st := randomState(r, 12)
+	h := pauli.NewHamiltonian(12)
+	for i := 0; i < 40; i++ {
+		h.Add(complex(r.NormFloat64(), 0), randomPauli(r, 12))
+	}
+	_ = st.Expectation(h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if slow {
+			// The pre-mask path: clone per term, apply, inner product.
+			e := 0.0
+			for _, t := range h.Terms() {
+				c := st.Clone()
+				c.ApplyPauliSlow(t.S)
+				var te complex128
+				for k := range st.Amp {
+					te += cmplx.Conj(st.Amp[k]) * c.Amp[k]
+				}
+				e += real(t.Coeff * te)
+			}
+			_ = e
+		} else {
+			_ = st.Expectation(h)
+		}
+	}
+}
+
+func BenchmarkExpectationFast(b *testing.B) { benchExpectation(b, false) }
+func BenchmarkExpectationSlow(b *testing.B) { benchExpectation(b, true) }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	mbits "math/bits"
 	"math/rand"
 
 	"repro/internal/circuit"
@@ -58,10 +59,8 @@ func SampleEnergyQWC(s *State, h *pauli.Hamiltonian, groups []pauli.QWCGroup, nm
 		}
 		for _, t := range g.Terms {
 			sign := 1.0
-			for _, q := range t.S.Support() {
-				if bits>>uint(q)&1 == 1 {
-					sign = -sign
-				}
+			if mbits.OnesCount64(bits&t.S.SupportMask64())&1 == 1 {
+				sign = -1.0
 			}
 			e += real(t.Coeff) * sign
 		}

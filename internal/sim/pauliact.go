@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"math/bits"
+
+	"repro/internal/pauli"
+)
+
+// pauliMasks is the precomputed symplectic action of a Pauli string on
+// computational-basis indices:
+//
+//	P|b⟩ = coeff · (−1)^{popcount(b & zmask)} · |b ⊕ flip⟩
+//
+// where flip is the X-type mask, zmask the Z-type mask, and coeff = i^Phase
+// of the string's symplectic form. One popcount parity and one xor replace
+// the per-letter dispatch the simulators used to run per amplitude; the
+// state-vector, density-matrix, and measurement paths all share it.
+type pauliMasks struct {
+	flip  uint64
+	zmask uint64
+	coeff complex128
+}
+
+func masksFor(p pauli.String) pauliMasks {
+	x, z := p.Masks64()
+	return pauliMasks{flip: x, zmask: z, coeff: p.PhaseCoeff()}
+}
+
+// amp returns the amplitude factor for source basis index b:
+// coeff negated when b hits an odd number of Z positions.
+func (m pauliMasks) amp(b int) complex128 {
+	if bits.OnesCount64(uint64(b)&m.zmask)&1 == 1 {
+		return -m.coeff
+	}
+	return m.coeff
+}
+
+// pairBit returns a single set bit of flip, used to enumerate each
+// (i, i^flip) index pair exactly once. Only valid when flip != 0.
+func (m pauliMasks) pairBit() uint64 {
+	return m.flip & -m.flip
+}

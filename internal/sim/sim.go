@@ -90,8 +90,41 @@ func (s *State) ApplyCircuit(c *circuit.Circuit) {
 	}
 }
 
-// ApplyPauli applies a Pauli string (with its phase) in place.
+// ApplyPauli applies a Pauli string (with its phase) in place, allocating
+// nothing: the X-type mask pairs amplitudes i ↔ i⊕flip and the Z-type mask
+// supplies each side's sign through one popcount parity.
 func (s *State) ApplyPauli(p pauli.String) {
+	if p.N() != s.N {
+		panic("sim: pauli/state size mismatch")
+	}
+	m := masksFor(p)
+	amp := s.Amp
+	if m.flip == 0 {
+		if m.zmask == 0 && m.coeff == 1 {
+			return
+		}
+		for i := range amp {
+			amp[i] *= m.amp(i)
+		}
+		return
+	}
+	pair := m.pairBit()
+	for i := range amp {
+		if uint64(i)&pair != 0 {
+			continue
+		}
+		j := i ^ int(m.flip)
+		a, b := amp[i], amp[j]
+		amp[j] = m.amp(i) * a
+		amp[i] = m.amp(j) * b
+	}
+}
+
+// ApplyPauliSlow is the pre-mask reference implementation of ApplyPauli:
+// per-letter dispatch per amplitude into a freshly allocated vector. It is
+// retained for differential tests and before/after benchmarks and must not
+// be used on hot paths.
+func (s *State) ApplyPauliSlow(p pauli.String) {
 	if p.N() != s.N {
 		panic("sim: pauli/state size mismatch")
 	}
@@ -126,18 +159,25 @@ func (s *State) ApplyPauli(p pauli.String) {
 	s.Amp = out
 }
 
-// ExpectationString returns ⟨ψ|P|ψ⟩.
+// ExpectationString returns ⟨ψ|P|ψ⟩ in one streaming pass with no clone:
+// ⟨ψ|P|ψ⟩ = Σ_j conj(ψ_j)·(Pψ)_j with (Pψ)_j read off the masks.
 func (s *State) ExpectationString(p pauli.String) complex128 {
-	t := s.Clone()
-	t.ApplyPauli(p)
+	if p.N() != s.N {
+		panic("sim: pauli/state size mismatch")
+	}
+	m := masksFor(p)
+	amp := s.Amp
 	var e complex128
-	for i := range s.Amp {
-		e += cmplx.Conj(s.Amp[i]) * t.Amp[i]
+	for j := range amp {
+		src := j ^ int(m.flip)
+		e += cmplx.Conj(amp[j]) * m.amp(src) * amp[src]
 	}
 	return e
 }
 
 // Expectation returns ⟨ψ|H|ψ⟩ (real part; H should be Hermitian).
+// Evaluating a T-term Hamiltonian on a 2^n state is T×O(2^n) bit-ops with
+// zero heap allocations once the Hamiltonian's term cache is warm.
 func (s *State) Expectation(h *pauli.Hamiltonian) float64 {
 	if h.N() != s.N {
 		panic("sim: hamiltonian/state size mismatch")
