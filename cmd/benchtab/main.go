@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/prof"
+	"repro/internal/version"
 	"repro/pkg/compiler"
 )
 
@@ -54,7 +55,13 @@ func main() {
 	list := flag.Bool("list", false, "list the compiler methods the tables draw from and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("benchtab"))
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -24,6 +24,8 @@ import (
 	"repro/internal/fermion"
 	"repro/internal/models"
 	"repro/internal/prof"
+	"repro/internal/store"
+	"repro/internal/version"
 	"repro/pkg/compiler"
 )
 
@@ -47,10 +49,18 @@ func run() error {
 	doTaper := flag.Bool("taper", false, "additionally report the Z2-tapered Hamiltonian (small systems only)")
 	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "print search progress to stderr")
-	list := flag.Bool("list", false, "list the registered mapping methods and exit")
+	list := flag.Bool("list", false, "list the registered mapping methods (and the service/store options) and exit")
+	storeDir := flag.String("store-dir", "", "reuse compiled mappings from this content-addressed store directory (shared with hattd -store-dir)")
+	storeCap := flag.Int("store-cap", store.DefaultCapacity, "in-memory entries for -store-dir's LRU tier")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("hattc"))
+		return nil
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -59,10 +69,26 @@ func run() error {
 	defer stopProf()
 
 	if *list {
+		fmt.Println("methods:")
 		for _, name := range compiler.Methods() {
-			fmt.Println(name)
+			fmt.Println(" ", name)
 		}
+		fmt.Println("store/service options:")
+		fmt.Println("  -store-dir <dir>   content-addressed mapping reuse across runs (keyed by")
+		fmt.Println("                     Hamiltonian fingerprint, method spec, and options digest;")
+		fmt.Println("                     shared with a hattd -store-dir pointing at the same path)")
+		fmt.Println("  -store-cap <n>     LRU capacity of the store's in-memory tier")
+		fmt.Println("  (hattd adds: -addr, -workers, -queue, -max-modes, -timeout, -drain-timeout)")
 		return nil
+	}
+
+	var opts []compiler.Option
+	if *storeDir != "" {
+		st, err := store.Open(*storeCap, *storeDir)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, compiler.WithStore(st))
 	}
 
 	ord, err := parseOrderOption(*order)
@@ -77,11 +103,11 @@ func run() error {
 		defer cancel()
 	}
 
-	opts := []compiler.Option{
+	opts = append(opts,
 		compiler.WithVisitBudget(*fhBudget),
 		compiler.WithTrotterSteps(*trotter),
 		ord,
-	}
+	)
 	if *progress {
 		opts = append(opts, compiler.WithProgress(func(ev compiler.ProgressEvent) {
 			if ev.Stage == compiler.StageSearch {

@@ -1,0 +1,140 @@
+// Command hattd is the HATT compilation daemon: compilation-as-a-service
+// over the pkg/compiler facade. It serves a JSON HTTP API with a
+// content-addressed result store (in-memory LRU plus optional disk
+// tier), an async job manager with deduplication and backpressure, and
+// live stats.
+//
+//	hattd -addr 127.0.0.1:7707 -store-dir /var/lib/hattd
+//
+// Endpoints:
+//
+//	POST   /v1/compile     synchronous compile (cache-aware)
+//	POST   /v1/jobs        submit an async job (429 when the queue is full)
+//	GET    /v1/jobs/{id}   poll job status / result
+//	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /v1/methods     registered mapping methods
+//	GET    /v1/healthz     liveness + version
+//	GET    /v1/stats       cache hit/miss counters and queue depth
+//	GET    /debug/vars     the same stats via expvar
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
+// jobs (bounded by -drain-timeout), and exits.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/version"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hattd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7707", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "concurrent compile jobs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", service.DefaultQueueDepth, "pending-job queue depth (submissions beyond it get 429)")
+	storeCap := flag.Int("store-cap", store.DefaultCapacity, "in-memory result-store entries (LRU-evicted)")
+	storeDir := flag.String("store-dir", "", "enable the on-disk result-store tier rooted at this directory")
+	maxModes := flag.Int("max-modes", service.DefaultMaxModes, "largest model a request may name")
+	syncTimeout := flag.Duration("timeout", service.DefaultTimeout, "synchronous /v1/compile compile budget")
+	jobTimeout := flag.Duration("job-timeout", service.DefaultMaxJobTime, "ceiling on any async job's compile time")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	showVersion := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("hattd"))
+		return nil
+	}
+
+	st, err := store.Open(*storeCap, *storeDir)
+	if err != nil {
+		return err
+	}
+	mgr := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Store:      st,
+		MaxJobTime: *jobTimeout,
+	})
+	api := service.NewAPI(mgr, st,
+		service.WithMaxModes(*maxModes),
+		service.WithSyncTimeout(*syncTimeout),
+	)
+
+	// The /v1/stats payload doubles as the daemon's expvar export.
+	expvar.Publish("hattd", expvar.Func(func() any { return api.StatsSnapshot() }))
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", api.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Request contexts descend from serveCtx so shutdown can force-cancel
+	// in-flight synchronous compiles once the drain budget runs out.
+	serveCtx, stopServe := context.WithCancel(context.Background())
+	defer stopServe()
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return serveCtx },
+	}
+
+	// The printed address is load-bearing: with -addr :0 it is how
+	// callers (the CI smoke job included) learn the real port.
+	fmt.Printf("hattd %s listening on %s (store: mem cap %d, disk %q)\n",
+		version.Version, ln.Addr(), *storeCap, *storeDir)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("hattd: shutting down, draining in-flight jobs")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// First pass waits the drain budget for in-flight requests to finish
+	// on their own; if any are still running, cancel their contexts
+	// (aborting the compiles) and collect the connections briefly.
+	httpErr := srv.Shutdown(shutdownCtx)
+	if httpErr != nil {
+		stopServe()
+		forceCtx, forceCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		httpErr = srv.Shutdown(forceCtx)
+		forceCancel()
+	}
+	// The job manager always gets its drain (and force-cancel) pass,
+	// even when the HTTP side misbehaved.
+	if err := mgr.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("job drain: %w", err)
+	}
+	if httpErr != nil {
+		return fmt.Errorf("http shutdown: %w", httpErr)
+	}
+	fmt.Println("hattd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,169 @@
+// Service example: compilation-as-a-service end to end.
+//
+// By default this program is fully self-contained — it boots the hattd
+// service stack (store + job manager + HTTP API) in-process on an
+// ephemeral port, then talks to it the way any remote client would:
+// plain JSON over HTTP. Point it at an already-running daemon instead
+// with -addr:
+//
+//	go run ./examples/service                     # self-contained
+//	hattd -addr 127.0.0.1:7707 &
+//	go run ./examples/service -addr 127.0.0.1:7707
+//
+// It demonstrates the three service behaviors the daemon exists for:
+// the sync endpoint with a content-addressed cache hit on the second
+// call, the async job flow (submit → poll → result) with in-flight
+// deduplication, and the stats counters behind /v1/stats.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "", "address of a running hattd (empty = start the service in-process)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		var shutdown func()
+		var err error
+		base, shutdown, err = startInProcess()
+		if err != nil {
+			panic(err)
+		}
+		defer shutdown()
+		fmt.Printf("started in-process service on %s\n\n", base)
+	}
+	url := "http://" + base
+
+	// 1) Synchronous compilation, twice. The second call is served from
+	// the content-addressed store: same Hamiltonian fingerprint, same
+	// method spec, same options digest → same entry, no search.
+	req := `{"model":"hubbard:2x2","method":"hatt","include_strings":true}`
+	for i := 1; i <= 2; i++ {
+		var resp struct {
+			Method      string   `json:"method"`
+			Qubits      int      `json:"qubits"`
+			PauliWeight int      `json:"pauli_weight"`
+			Cached      bool     `json:"cached"`
+			ElapsedMS   float64  `json:"elapsed_ms"`
+			Mapping     []string `json:"mapping"`
+		}
+		post(url+"/v1/compile", req, &resp)
+		fmt.Printf("compile #%d: %s on %d qubits, weight %d, cached=%v (%.2f ms)\n",
+			i, resp.Method, resp.Qubits, resp.PauliWeight, resp.Cached, resp.ElapsedMS)
+		if i == 2 {
+			fmt.Printf("  M0 = %s\n", resp.Mapping[0])
+		}
+	}
+
+	// 2) Async jobs: submit the same problem twice, back to back. The
+	// second submission attaches to the first in-flight job instead of
+	// queueing a duplicate search.
+	// A schedule long enough that the duplicate lands while the first
+	// job is still searching.
+	jobReq := `{"model":"molecule:8","method":"anneal","options":{"seed":11,"anneal_iters":400000}}`
+	var first, second struct {
+		ID      string `json:"id"`
+		Deduped bool   `json:"deduped"`
+		URL     string `json:"url"`
+	}
+	post(url+"/v1/jobs", jobReq, &first)
+	post(url+"/v1/jobs", jobReq, &second)
+	fmt.Printf("\njob submitted: %s; duplicate submission deduped=%v (same id: %v)\n",
+		first.ID, second.Deduped, first.ID == second.ID)
+
+	var job struct {
+		State  string `json:"state"`
+		Result *struct {
+			PauliWeight int `json:"pauli_weight"`
+		} `json:"result"`
+	}
+	for {
+		get(url+first.URL, &job)
+		if job.State == "done" || job.State == "failed" || job.State == "canceled" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.State != "done" { // result is only attached to done jobs
+		fmt.Printf("job %s ended %s without a result\n", first.ID, job.State)
+		return
+	}
+	fmt.Printf("job %s finished: %s, weight %d\n", first.ID, job.State, job.Result.PauliWeight)
+
+	// 3) The daemon's own accounting.
+	var stats struct {
+		Store struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"store"`
+		Jobs map[string]int `json:"jobs"`
+	}
+	get(url+"/v1/stats", &stats)
+	fmt.Printf("\nstats: store %d hits / %d misses, jobs done: %d\n",
+		stats.Store.Hits, stats.Store.Misses, stats.Jobs["done"])
+}
+
+// startInProcess wires the same stack cmd/hattd serves and returns its
+// address: an in-memory store, the job manager, and the HTTP API on an
+// ephemeral port.
+func startInProcess() (addr string, shutdown func(), err error) {
+	st, err := store.Open(0, "")
+	if err != nil {
+		return "", nil, err
+	}
+	mgr := service.New(service.Config{Store: st})
+	srv := &http.Server{Handler: service.NewAPI(mgr, st).Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		mgr.Shutdown(ctx)
+	}, nil
+}
+
+func post(url, body string, out any) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		panic(fmt.Sprintf("POST %s: %d %s", url, resp.StatusCode, e.Error))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		panic(err)
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		panic(err)
+	}
+}

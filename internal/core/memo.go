@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fermion"
+	"repro/internal/lru"
 	"repro/internal/mapping"
 )
 
@@ -40,14 +41,17 @@ type buildMemoEntry struct {
 	merges [][3]int
 }
 
-// buildMemoLimit bounds the entry count; the memo is cleared wholesale
-// when full (entries are tiny — 3N ints — so the bound is generous).
+// buildMemoLimit bounds the entry count. Eviction is LRU, one entry at a
+// time: under sustained batch workloads that cycle through more than
+// buildMemoLimit distinct Hamiltonians, the hot ones stay resident
+// instead of being wiped wholesale whenever the map fills. Entries are
+// tiny — 3N ints — so the bound is generous.
 const buildMemoLimit = 256
 
 var buildMemo = struct {
-	sync.RWMutex
-	m map[buildMemoKey]buildMemoEntry
-}{m: make(map[buildMemoKey]buildMemoEntry)}
+	sync.Mutex
+	c *lru.Cache[buildMemoKey, buildMemoEntry]
+}{c: lru.New[buildMemoKey, buildMemoEntry](buildMemoLimit)}
 
 // inflight tracks keys whose construction is currently running; the
 // channel closes when the leader finishes (successfully or not).
@@ -65,7 +69,7 @@ var buildSearches atomic.Int64
 // need to.
 func ResetBuildCache() {
 	buildMemo.Lock()
-	buildMemo.m = make(map[buildMemoKey]buildMemoEntry)
+	buildMemo.c.Reset()
 	buildMemo.Unlock()
 }
 
@@ -110,12 +114,13 @@ func canonEqual(a, b []int) bool {
 	return true
 }
 
-// memoLookup returns the cached merge schedule for (key, canon), if any;
-// a fingerprint collision with different canonical material is a miss.
+// memoLookup returns the cached merge schedule for (key, canon), if any,
+// marking the entry most-recently-used; a fingerprint collision with
+// different canonical material is a miss.
 func memoLookup(key buildMemoKey, canon []int) (buildMemoEntry, bool) {
-	buildMemo.RLock()
-	e, ok := buildMemo.m[key]
-	buildMemo.RUnlock()
+	buildMemo.Lock()
+	e, ok := buildMemo.c.Get(key)
+	buildMemo.Unlock()
 	if ok && !canonEqual(e.canon, canon) {
 		return buildMemoEntry{}, false
 	}
@@ -154,17 +159,14 @@ func memoAcquire(ctx context.Context, key buildMemoKey, canon []int) (e buildMem
 	}
 }
 
-// memoStore records a completed construction, clearing the memo first if
-// it is full. A fingerprint collision overwrites the colliding entry
-// (one-entry bucket semantics).
+// memoStore records a completed construction, evicting the
+// least-recently-used entry when the memo is at capacity. A fingerprint
+// collision overwrites the colliding entry (one-entry bucket semantics).
 func memoStore(key buildMemoKey, canon []int, log [][3]int) {
 	merges := make([][3]int, len(log))
 	copy(merges, log)
 	buildMemo.Lock()
-	if len(buildMemo.m) >= buildMemoLimit {
-		buildMemo.m = make(map[buildMemoKey]buildMemoEntry)
-	}
-	buildMemo.m[key] = buildMemoEntry{canon: canon, merges: merges}
+	buildMemo.c.Put(key, buildMemoEntry{canon: canon, merges: merges})
 	buildMemo.Unlock()
 }
 

@@ -1,0 +1,37 @@
+package fermion
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a 128-bit content hash of the Majorana Hamiltonian
+// as a 32-character hex string: the mode count plus every term's index
+// set and coefficient, in term order, hashed with SHA-256 and truncated.
+// Two Hamiltonians with equal fingerprints are, for all practical
+// purposes, the same operator, which makes the fingerprint usable as a
+// content-addressed cache key for compiled mappings (see internal/store).
+//
+// The encoding is self-delimiting (every index set is length-prefixed),
+// so distinct term structures can never serialize identically.
+func (m *MajoranaHamiltonian) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	put(uint64(m.Modes))
+	for _, t := range m.Terms {
+		put(uint64(len(t.Indices)))
+		for _, i := range t.Indices {
+			put(uint64(i))
+		}
+		put(math.Float64bits(real(t.Coeff)))
+		put(math.Float64bits(imag(t.Coeff)))
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,58 @@
+package fermion
+
+import "testing"
+
+func fpTestSystem() *Hamiltonian {
+	h := NewHamiltonian(3)
+	h.Add(1.0, Op{Mode: 0, Dagger: true}, Op{Mode: 0})
+	h.AddHermitian(0.5, Op{Mode: 0, Dagger: true}, Op{Mode: 1})
+	h.Add(2.0,
+		Op{Mode: 1, Dagger: true}, Op{Mode: 2, Dagger: true},
+		Op{Mode: 1}, Op{Mode: 2})
+	return h
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := fpTestSystem().Majorana(1e-12)
+	b := fpTestSystem().Majorana(1e-12)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("identical systems fingerprint differently: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if got := len(a.Fingerprint()); got != 32 {
+		t.Fatalf("fingerprint length = %d, want 32 hex chars (128 bits)", got)
+	}
+}
+
+func TestFingerprintSeparatesContent(t *testing.T) {
+	base := fpTestSystem().Majorana(1e-12)
+
+	// Different coefficient on one term.
+	h2 := NewHamiltonian(3)
+	h2.Add(1.0, Op{Mode: 0, Dagger: true}, Op{Mode: 0})
+	h2.AddHermitian(0.5, Op{Mode: 0, Dagger: true}, Op{Mode: 1})
+	h2.Add(2.5,
+		Op{Mode: 1, Dagger: true}, Op{Mode: 2, Dagger: true},
+		Op{Mode: 1}, Op{Mode: 2})
+	if base.Fingerprint() == h2.Majorana(1e-12).Fingerprint() {
+		t.Fatal("coefficient change not reflected in fingerprint")
+	}
+
+	// Different mode count, same (empty) term list.
+	e4 := &MajoranaHamiltonian{Modes: 4}
+	e5 := &MajoranaHamiltonian{Modes: 5}
+	if e4.Fingerprint() == e5.Fingerprint() {
+		t.Fatal("mode count not reflected in fingerprint")
+	}
+
+	// Self-delimiting encoding: terms {0,1},{2} vs {0},{1,2} must differ
+	// even though the flattened index streams coincide.
+	a := &MajoranaHamiltonian{Modes: 2, Terms: []MajoranaTerm{
+		{Coeff: 1, Indices: []int{0, 1}}, {Coeff: 1, Indices: []int{2}},
+	}}
+	b := &MajoranaHamiltonian{Modes: 2, Terms: []MajoranaTerm{
+		{Coeff: 1, Indices: []int{0}}, {Coeff: 1, Indices: []int{1, 2}},
+	}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("term boundaries not reflected in fingerprint")
+	}
+}

@@ -12,8 +12,20 @@ import (
 // suitable for CLI usage strings.
 const SpecHelp = "h2 | molecule:<even modes> | hubbard:<R>x<C> | neutrino:<N>x<F>"
 
-// Resolve parses a benchmark model spec and builds the corresponding
-// fermionic Hamiltonian:
+// maxLatticeDim bounds each lattice dimension a spec may name, keeping
+// the 2·A·B mode products safely inside int range even where int is 32
+// bits (2·(2¹⁴)² = 2²⁹ < 2³¹−1).
+const maxLatticeDim = 1 << 14
+
+// specInfo is a parsed-but-not-built spec: the mode count it would
+// resolve to, priced at parse cost, and the deferred builder. One parser
+// produces it so Resolve and Modes can never drift.
+type specInfo struct {
+	modes int
+	build func() *fermion.Hamiltonian
+}
+
+// parseSpec is the single grammar for benchmark model specs:
 //
 //	h2               H₂/STO-3G with the published integrals
 //	molecule:<M>     synthetic molecule on M (even) spin-orbitals
@@ -21,30 +33,58 @@ const SpecHelp = "h2 | molecule:<even modes> | hubbard:<R>x<C> | neutrino:<N>x<F
 //	neutrino:<N>x<F> collective neutrino oscillation, N sites, F flavors
 //
 // Unknown or malformed specs return an error.
-func Resolve(spec string) (*fermion.Hamiltonian, error) {
+func parseSpec(spec string) (specInfo, error) {
 	switch {
 	case spec == "h2":
-		return H2STO3G(), nil
+		return specInfo{modes: 4, build: H2STO3G}, nil
 	case strings.HasPrefix(spec, "molecule:"):
 		modes, err := strconv.Atoi(spec[len("molecule:"):])
 		if err != nil || modes < 2 || modes%2 != 0 {
-			return nil, fmt.Errorf("models: bad molecule spec %q (want molecule:<even modes>)", spec)
+			return specInfo{}, fmt.Errorf("models: bad molecule spec %q (want molecule:<even modes>)", spec)
 		}
-		return SyntheticMolecule("synthetic", modes, 100+int64(modes), 0.4), nil
+		return specInfo{modes: modes, build: func() *fermion.Hamiltonian {
+			return SyntheticMolecule("synthetic", modes, 100+int64(modes), 0.4)
+		}}, nil
 	case strings.HasPrefix(spec, "hubbard:"):
 		r, c, err := parsePair(spec[len("hubbard:"):])
 		if err != nil {
-			return nil, fmt.Errorf("models: bad hubbard spec %q: %v", spec, err)
+			return specInfo{}, fmt.Errorf("models: bad hubbard spec %q: %v", spec, err)
 		}
-		return FermiHubbard(r, c, 1.0, 4.0), nil
+		return specInfo{modes: 2 * r * c, build: func() *fermion.Hamiltonian {
+			return FermiHubbard(r, c, 1.0, 4.0)
+		}}, nil
 	case strings.HasPrefix(spec, "neutrino:"):
 		n, f, err := parsePair(spec[len("neutrino:"):])
 		if err != nil {
-			return nil, fmt.Errorf("models: bad neutrino spec %q: %v", spec, err)
+			return specInfo{}, fmt.Errorf("models: bad neutrino spec %q: %v", spec, err)
 		}
-		return NeutrinoOscillation(n, f, 1.0), nil
+		return specInfo{modes: 2 * n * f, build: func() *fermion.Hamiltonian {
+			return NeutrinoOscillation(n, f, 1.0)
+		}}, nil
 	}
-	return nil, fmt.Errorf("models: unknown model %q (want %s)", spec, SpecHelp)
+	return specInfo{}, fmt.Errorf("models: unknown model %q (want %s)", spec, SpecHelp)
+}
+
+// Resolve parses a benchmark model spec (see parseSpec for the grammar)
+// and builds the corresponding fermionic Hamiltonian.
+func Resolve(spec string) (*fermion.Hamiltonian, error) {
+	si, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return si.build(), nil
+}
+
+// Modes returns the mode count a spec would resolve to without building
+// the Hamiltonian. Servers use it to reject oversized requests before
+// paying the construction cost (a hubbard:1000x1000 spec allocates
+// millions of terms in Resolve; Modes prices it at parse cost).
+func Modes(spec string) (int, error) {
+	si, err := parseSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	return si.modes, nil
 }
 
 func parsePair(s string) (int, int, error) {
@@ -62,6 +102,9 @@ func parsePair(s string) (int, int, error) {
 	}
 	if a < 1 || b < 1 {
 		return 0, 0, fmt.Errorf("want positive dimensions")
+	}
+	if a > maxLatticeDim || b > maxLatticeDim {
+		return 0, 0, fmt.Errorf("dimensions exceed %d", maxLatticeDim)
 	}
 	return a, b, nil
 }

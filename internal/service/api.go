@@ -1,0 +1,528 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/fermion"
+	"repro/internal/models"
+	"repro/internal/store"
+	"repro/internal/version"
+	"repro/pkg/compiler"
+)
+
+// API is the JSON-over-HTTP surface hattd mounts. Every error response
+// is a structured JSON object ({"error": ..., "status": ...}); malformed
+// or absurd input is always a 4xx, never a panic.
+type API struct {
+	mgr      *Manager
+	store    *store.Store // may be nil; used for /v1/stats
+	maxModes int
+	timeout  time.Duration
+	started  time.Time
+
+	// compile is the sync-compile entry point, indirect so tests (and
+	// the request-decoder fuzzer) can stub the expensive part out.
+	compile func(ctx context.Context, req *compileRequest) (*compiler.Result, int, error)
+}
+
+// Request-size guardrails, tuned to keep one malicious request from
+// monopolizing the daemon.
+const (
+	DefaultMaxModes   = 64
+	DefaultTimeout    = 5 * time.Minute
+	maxBodyBytes      = 1 << 20 // 1 MiB request bodies
+	maxBeamWidth      = 4096
+	maxAnnealIters    = 100_000_000
+	maxAnnealRestarts = 4096
+	maxParallelism    = 4096
+)
+
+// APIOption configures NewAPI.
+type APIOption func(*API)
+
+// WithMaxModes caps the model size a request may name (≤ 0 keeps
+// DefaultMaxModes).
+func WithMaxModes(n int) APIOption {
+	return func(a *API) {
+		if n > 0 {
+			a.maxModes = n
+		}
+	}
+}
+
+// WithSyncTimeout bounds each synchronous /v1/compile call (≤ 0 keeps
+// DefaultTimeout).
+func WithSyncTimeout(d time.Duration) APIOption {
+	return func(a *API) {
+		if d > 0 {
+			a.timeout = d
+		}
+	}
+}
+
+// NewAPI wires the HTTP surface over a job manager and an optional
+// store (the same one the manager's jobs consult, surfaced in
+// /v1/stats).
+func NewAPI(mgr *Manager, st *store.Store, opts ...APIOption) *API {
+	a := &API{
+		mgr:      mgr,
+		store:    st,
+		maxModes: DefaultMaxModes,
+		timeout:  DefaultTimeout,
+		started:  time.Now(),
+	}
+	a.compile = a.compileSync
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Handler returns the route table. Method mismatches get 405 from the
+// mux's pattern matching; everything else lands in a handler that only
+// writes JSON.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", a.handleCompile)
+	mux.HandleFunc("POST /v1/jobs", a.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
+	mux.HandleFunc("GET /v1/methods", a.handleMethods)
+	mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", a.handleStats)
+	return recoverJSON(mux)
+}
+
+// recoverJSON is the outermost safety net: a panic escaping any handler
+// becomes a structured 500 instead of a torn connection. Handlers are
+// written not to panic — the fuzzer holds them to "4xx on bad input" —
+// so this exists for defense in depth, not control flow.
+func recoverJSON(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeErr(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// apiError carries a status code with its message.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg, "status": code})
+}
+
+func writeAPIErr(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		writeErr(w, ae.code, ae.msg)
+		return
+	}
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrNotFound):
+		writeErr(w, http.StatusNotFound, err.Error())
+	default:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// compileRequest is the wire shape of POST /v1/compile and POST
+// /v1/jobs. Unknown fields are rejected so typos fail loudly instead of
+// silently compiling with defaults.
+type compileRequest struct {
+	Model       string          `json:"model,omitempty"`
+	Hamiltonian json.RawMessage `json:"hamiltonian,omitempty"` // fermion JSON, alternative to Model
+	Method      string          `json:"method,omitempty"`
+	Options     *requestOptions `json:"options,omitempty"`
+	TimeoutMS   int64           `json:"timeout_ms,omitempty"`
+	Strings     bool            `json:"include_strings,omitempty"`
+
+	mh *fermion.MajoranaHamiltonian // resolved by decodeCompileRequest
+}
+
+// requestOptions is the JSON mirror of the compiler's result-affecting
+// options plus parallelism.
+type requestOptions struct {
+	BeamWidth      int     `json:"beam_width,omitempty"`
+	VisitBudget    int64   `json:"visit_budget,omitempty"`
+	AnnealIters    int     `json:"anneal_iters,omitempty"`
+	AnnealTStart   float64 `json:"anneal_t_start,omitempty"`
+	AnnealTEnd     float64 `json:"anneal_t_end,omitempty"`
+	TieBreak       string  `json:"tie_break,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+	AnnealRestarts int     `json:"anneal_restarts,omitempty"`
+	Parallelism    int     `json:"parallelism,omitempty"`
+}
+
+// compilerOptions validates the wire options and lowers them onto the
+// facade's functional options.
+func (ro *requestOptions) compilerOptions() ([]compiler.Option, *apiError) {
+	if ro == nil {
+		return nil, nil
+	}
+	var opts []compiler.Option
+	switch {
+	case ro.BeamWidth < 0 || ro.BeamWidth > maxBeamWidth:
+		return nil, badRequest("beam_width %d out of range [0, %d]", ro.BeamWidth, maxBeamWidth)
+	case ro.BeamWidth > 0:
+		opts = append(opts, compiler.WithBeamWidth(ro.BeamWidth))
+	}
+	if ro.VisitBudget < 0 {
+		return nil, badRequest("visit_budget %d must be ≥ 0", ro.VisitBudget)
+	}
+	if ro.VisitBudget > 0 {
+		opts = append(opts, compiler.WithVisitBudget(ro.VisitBudget))
+	}
+	switch {
+	case ro.AnnealIters < 0 || ro.AnnealIters > maxAnnealIters:
+		return nil, badRequest("anneal_iters %d out of range [0, %d]", ro.AnnealIters, maxAnnealIters)
+	case !finiteNonNeg(ro.AnnealTStart) || !finiteNonNeg(ro.AnnealTEnd):
+		return nil, badRequest("anneal temperatures must be finite and ≥ 0")
+	case ro.AnnealIters > 0 || ro.AnnealTStart > 0 || ro.AnnealTEnd > 0:
+		opts = append(opts, compiler.WithAnnealSchedule(ro.AnnealIters, ro.AnnealTStart, ro.AnnealTEnd))
+	}
+	if ro.TieBreak != "" {
+		tb, err := parseTieBreak(ro.TieBreak)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, compiler.WithTieBreak(tb))
+	}
+	if ro.Seed != 0 {
+		opts = append(opts, compiler.WithSeed(ro.Seed))
+	}
+	switch {
+	case ro.AnnealRestarts < 0 || ro.AnnealRestarts > maxAnnealRestarts:
+		return nil, badRequest("anneal_restarts %d out of range [0, %d]", ro.AnnealRestarts, maxAnnealRestarts)
+	case ro.AnnealRestarts > 0:
+		opts = append(opts, compiler.WithAnnealRestarts(ro.AnnealRestarts))
+	}
+	switch {
+	case ro.Parallelism < 0 || ro.Parallelism > maxParallelism:
+		return nil, badRequest("parallelism %d out of range [0, %d]", ro.Parallelism, maxParallelism)
+	case ro.Parallelism > 0:
+		opts = append(opts, compiler.WithParallelism(ro.Parallelism))
+	}
+	return opts, nil
+}
+
+func finiteNonNeg(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0) && f >= 0
+}
+
+func parseTieBreak(s string) (compiler.TieBreak, *apiError) {
+	switch s {
+	case "first":
+		return compiler.TieFirst, nil
+	case "depth":
+		return compiler.TieDepth, nil
+	case "support":
+		return compiler.TieSupport, nil
+	}
+	return 0, badRequest("tie_break %q unknown (want first | depth | support)", s)
+}
+
+// decodeCompileRequest reads, parses, and validates one request body.
+// Every failure is an *apiError in the 4xx family. On success the
+// request carries a resolved Majorana Hamiltonian.
+func (a *API) decodeCompileRequest(r *http.Request) (*compileRequest, *apiError) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		if _, ok := err.(*http.MaxBytesError); ok {
+			return nil, &apiError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes)}
+		}
+		return nil, badRequest("reading request body: %v", err)
+	}
+	var req compileRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("invalid JSON request: %v", err)
+	}
+	// Reject trailing garbage after the JSON object.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, badRequest("trailing data after JSON request")
+	}
+
+	if req.Method == "" {
+		req.Method = "hatt"
+	}
+	if _, err := compiler.Resolve(req.Method); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, badRequest("timeout_ms must be ≥ 0")
+	}
+
+	switch {
+	case len(req.Hamiltonian) > 0:
+		h, err := fermion.ReadJSON(bytes.NewReader(req.Hamiltonian))
+		if err != nil {
+			return nil, badRequest("invalid hamiltonian: %v", err)
+		}
+		if h.Modes > a.maxModes {
+			return nil, &apiError{code: http.StatusUnprocessableEntity,
+				msg: fmt.Sprintf("hamiltonian has %d modes, server caps requests at %d", h.Modes, a.maxModes)}
+		}
+		req.mh = h.Majorana(1e-12)
+		if req.Model == "" {
+			req.Model = "custom"
+		}
+	case req.Model != "":
+		// Price the spec before building it so absurd lattices are
+		// rejected at parse cost, not construction cost.
+		n, err := models.Modes(req.Model)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		if n > a.maxModes {
+			return nil, &apiError{code: http.StatusUnprocessableEntity,
+				msg: fmt.Sprintf("model %q has %d modes, server caps requests at %d", req.Model, n, a.maxModes)}
+		}
+		h, err := models.Resolve(req.Model)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		req.mh = h.Majorana(1e-12)
+	default:
+		return nil, badRequest("request needs a model spec or a hamiltonian")
+	}
+	return &req, nil
+}
+
+// compileResponse is the wire shape of a successful compile.
+type compileResponse struct {
+	Model       string   `json:"model"`
+	Method      string   `json:"method"`
+	Modes       int      `json:"modes"`
+	Qubits      int      `json:"qubits"`
+	PauliWeight int      `json:"pauli_weight"`
+	Optimal     bool     `json:"optimal,omitempty"`
+	Cached      bool     `json:"cached"`
+	ElapsedMS   float64  `json:"elapsed_ms"`
+	Mapping     []string `json:"mapping,omitempty"`
+}
+
+func toResponse(req *compileRequest, res *compiler.Result, elapsed time.Duration) compileResponse {
+	resp := compileResponse{
+		Model:       req.Model,
+		Method:      res.Method,
+		Modes:       req.mh.Modes,
+		Qubits:      res.Mapping.Qubits(),
+		PauliWeight: res.PredictedWeight,
+		Optimal:     res.Optimal,
+		Cached:      res.Cached,
+		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+	}
+	if req.Strings {
+		resp.Mapping = make([]string, len(res.Mapping.Majoranas))
+		for j, s := range res.Mapping.Majoranas {
+			resp.Mapping[j] = s.String()
+		}
+	}
+	return resp
+}
+
+// compileSync is the production sync-compile path behind POST
+// /v1/compile: the search is bounded by the request's own timeout
+// (capped by the server default) and by ctx — the HTTP request context,
+// so a client that disconnects stops paying for its search instead of
+// burning a worker until the timeout.
+func (a *API) compileSync(ctx context.Context, req *compileRequest) (*compiler.Result, int, error) {
+	var opts []compiler.Option
+	if req.Options != nil {
+		o, aerr := req.Options.compilerOptions()
+		if aerr != nil {
+			return nil, aerr.code, aerr
+		}
+		opts = o
+	}
+	if a.mgr != nil && a.mgr.cfg.Store != nil {
+		opts = append(opts, compiler.WithStore(a.mgr.cfg.Store))
+	}
+	timeout := a.timeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	res, err := compiler.Compile(ctx, req.Method, req.mh, opts...)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, http.StatusRequestTimeout, fmt.Errorf("compilation exceeded %s", timeout)
+		}
+		if errors.Is(err, context.Canceled) {
+			// 499 in nginx's vocabulary; the client is gone either way.
+			return nil, http.StatusRequestTimeout, fmt.Errorf("request canceled: %w", err)
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	return res, http.StatusOK, nil
+}
+
+func (a *API) handleCompile(w http.ResponseWriter, r *http.Request) {
+	req, aerr := a.decodeCompileRequest(r)
+	if aerr != nil {
+		writeErr(w, aerr.code, aerr.msg)
+		return
+	}
+	start := time.Now()
+	res, code, err := a.compile(r.Context(), req)
+	if err != nil {
+		writeErr(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(req, res, time.Since(start)))
+}
+
+// submitResponse is the wire shape of POST /v1/jobs.
+type submitResponse struct {
+	ID      string `json:"id"`
+	State   State  `json:"state"`
+	Deduped bool   `json:"deduped"`
+	URL     string `json:"url"`
+}
+
+func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, aerr := a.decodeCompileRequest(r)
+	if aerr != nil {
+		writeErr(w, aerr.code, aerr.msg)
+		return
+	}
+	var opts []compiler.Option
+	if req.Options != nil {
+		o, aerr := req.Options.compilerOptions()
+		if aerr != nil {
+			writeErr(w, aerr.code, aerr.msg)
+			return
+		}
+		opts = o
+	}
+	st, deduped, err := a.mgr.Submit(Request{
+		Model:       req.Model,
+		Hamiltonian: req.mh,
+		Spec:        req.Method,
+		Options:     opts,
+		Timeout:     time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		writeAPIErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: st.ID, State: st.State, Deduped: deduped, URL: "/v1/jobs/" + st.ID,
+	})
+}
+
+// jobResponse is the wire shape of GET /v1/jobs/{id}: the status
+// snapshot plus, once done, the result.
+type jobResponse struct {
+	Status
+	Result *compileResponse `json:"result,omitempty"`
+}
+
+func (a *API) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := a.mgr.Status(id)
+	if err != nil {
+		writeAPIErr(w, err)
+		return
+	}
+	resp := jobResponse{Status: st}
+	if st.State == StateDone {
+		if res, err := a.mgr.Result(id); err == nil {
+			// Jobs always include the mapping strings: the async flow has
+			// no second endpoint to fetch them from.
+			cr := toResponse(&compileRequest{Model: st.Model, Strings: true, mh: mhOf(res)}, res, st.Elapsed)
+			resp.Result = &cr
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// mhOf fabricates the minimal Hamiltonian view toResponse needs (mode
+// count only) from a finished result.
+func mhOf(res *compiler.Result) *fermion.MajoranaHamiltonian {
+	return &fermion.MajoranaHamiltonian{Modes: res.Mapping.Modes}
+}
+
+func (a *API) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := a.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeAPIErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (a *API) handleMethods(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"methods": compiler.Methods()})
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": version.Version,
+		"uptime":  time.Since(a.started).String(),
+	})
+}
+
+// StatsSnapshot assembles the /v1/stats payload. It is exported (and
+// JSON-marshalable) so hattd can additionally publish it through expvar.
+func (a *API) StatsSnapshot() map[string]any {
+	pending, capacity := a.mgr.QueueDepth()
+	jobs := map[string]any{
+		"queue_depth":    pending,
+		"queue_capacity": capacity,
+	}
+	for state, n := range a.mgr.Counts() {
+		jobs[string(state)] = n
+	}
+	out := map[string]any{
+		"jobs":      jobs,
+		"uptime_ms": time.Since(a.started).Milliseconds(),
+		"version":   version.Version,
+	}
+	if a.store != nil {
+		out["store"] = a.store.Stats()
+	}
+	return out
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.StatsSnapshot())
+}

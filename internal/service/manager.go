@@ -1,0 +1,494 @@
+// Package service turns the pkg/compiler facade into a long-running
+// compilation service: a job manager executing async compile jobs over a
+// bounded worker pool (manager.go) and the JSON-over-HTTP API the hattd
+// daemon mounts (api.go).
+//
+// The manager's contract mirrors what a multi-tenant front end needs:
+//   - Submit is non-blocking with backpressure — a full queue returns
+//     ErrQueueFull (the HTTP layer maps it to 429) instead of stalling
+//     the caller.
+//   - Identical in-flight jobs deduplicate: a submission whose content
+//     address (Hamiltonian fingerprint, method spec, options digest)
+//     matches a queued or running job attaches to that job instead of
+//     enqueueing a duplicate search.
+//   - Every job compiles under its own context; Cancel aborts a queued
+//     or running job without touching its neighbors.
+//   - Progress snapshots come straight from the facade's WithProgress
+//     events, so pollers see live search iteration counts.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fermion"
+	"repro/internal/models"
+	"repro/pkg/compiler"
+)
+
+// Sentinel errors the HTTP layer translates into status codes.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrClosed    = errors.New("service: manager shut down")
+	ErrNotFound  = errors.New("service: no such job")
+	ErrNotDone   = errors.New("service: job not finished")
+)
+
+// Config sizes the manager.
+type Config struct {
+	// Workers is the number of jobs compiled concurrently (each job runs
+	// single-threaded search parallelism unless its options say
+	// otherwise). Non-positive means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the pending-job queue; submissions beyond it get
+	// ErrQueueFull. Non-positive means DefaultQueueDepth.
+	QueueDepth int
+	// Store, when non-nil, is attached to every job via WithStore.
+	Store compiler.Store
+	// KeepFinished bounds how many finished jobs remain pollable; the
+	// oldest are forgotten first. Non-positive means DefaultKeepFinished.
+	KeepFinished int
+	// MaxJobTime is the server-side ceiling on any single job's compile
+	// time — the async counterpart of the sync endpoint's timeout, so a
+	// handful of pathological requests can never pin the worker pool
+	// forever. A request's own Timeout may only tighten it.
+	// Non-positive means DefaultMaxJobTime.
+	MaxJobTime time.Duration
+}
+
+// Defaults for Config's non-positive fields.
+const (
+	DefaultQueueDepth   = 64
+	DefaultKeepFinished = 1024
+	DefaultMaxJobTime   = time.Hour
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Request describes one compilation. Either Model (a models.Resolve
+// spec) or Hamiltonian must be set; Hamiltonian wins when both are.
+type Request struct {
+	Model       string
+	Hamiltonian *fermion.MajoranaHamiltonian
+	Spec        string // method spec; "" means "hatt"
+	Options     []compiler.Option
+	// Timeout bounds the job's compile once it starts running; ≤ 0
+	// means unbounded (until Cancel or Shutdown).
+	Timeout time.Duration
+}
+
+// Progress is a point-in-time snapshot of a running job's search.
+type Progress struct {
+	Stage      string `json:"stage,omitempty"`
+	Step       int    `json:"step,omitempty"`
+	Total      int    `json:"total,omitempty"`
+	BestWeight int    `json:"best_weight,omitempty"`
+}
+
+// Status is the pollable view of a job.
+type Status struct {
+	ID       string        `json:"id"`
+	State    State         `json:"state"`
+	Model    string        `json:"model"`
+	Spec     string        `json:"spec"`
+	Attached int           `json:"attached"` // submissions deduplicated onto this job
+	Progress Progress      `json:"progress"`
+	Error    string        `json:"error,omitempty"`
+	Created  time.Time     `json:"created"`
+	Elapsed  time.Duration `json:"elapsed"`
+}
+
+// job is the manager's internal record.
+type job struct {
+	id    string
+	key   string // content address for dedup
+	model string
+	spec  string
+	req   Request
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+
+	mu       sync.Mutex
+	state    State
+	progress Progress
+	result   *compiler.Result
+	err      error
+	attached int
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Manager owns the queue, the worker pool, and the job table.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	inflight map[string]*job // dedup key → queued/running job
+	order    []string        // finished-job retention ring, oldest first
+	seq      int64
+	closed   bool
+
+	queue  chan *job
+	root   context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// New builds a manager and starts its workers.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.KeepFinished <= 0 {
+		cfg.KeepFinished = DefaultKeepFinished
+	}
+	if cfg.MaxJobTime <= 0 {
+		cfg.MaxJobTime = DefaultMaxJobTime
+	}
+	root, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:      cfg,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		queue:    make(chan *job, cfg.QueueDepth),
+		root:     root,
+		cancel:   cancel,
+	}
+	m.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go m.worker()
+	}
+	return m
+}
+
+// resolve normalizes a request into the pieces the manager keys on.
+func resolve(req Request) (mh *fermion.MajoranaHamiltonian, spec, model, key string, err error) {
+	spec = req.Spec
+	if spec == "" {
+		spec = "hatt"
+	}
+	if _, err = compiler.Resolve(spec); err != nil {
+		return nil, "", "", "", err
+	}
+	mh = req.Hamiltonian
+	model = req.Model
+	if mh == nil {
+		if model == "" {
+			return nil, "", "", "", errors.New("service: request needs a Model spec or a Hamiltonian")
+		}
+		h, rerr := models.Resolve(model)
+		if rerr != nil {
+			return nil, "", "", "", rerr
+		}
+		mh = h.Majorana(1e-12)
+	} else if model == "" {
+		model = "custom"
+	}
+	o := compiler.NewOptions(req.Options...)
+	// The dedup key is the content address plus the time budget: a
+	// submitter with a generous timeout must not attach to a job about
+	// to be killed by a stingy one.
+	key = fmt.Sprintf("%s|%s|%s|t=%d", mh.Fingerprint(), spec, o.Digest(), req.Timeout)
+	return mh, spec, model, key, nil
+}
+
+// Submit validates the request and enqueues a job, returning its status.
+// If an identical job (same content address) is already queued or
+// running, the submission attaches to it instead and deduped is true.
+// A full queue fails fast with ErrQueueFull.
+func (m *Manager) Submit(req Request) (st Status, deduped bool, err error) {
+	mh, spec, model, key, err := resolve(req)
+	if err != nil {
+		return Status{}, false, err
+	}
+	req.Hamiltonian = mh
+	req.Spec = spec
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Status{}, false, ErrClosed
+	}
+	if j, ok := m.inflight[key]; ok {
+		j.mu.Lock()
+		j.attached++
+		j.mu.Unlock()
+		st = j.status()
+		m.mu.Unlock()
+		return st, true, nil
+	}
+	m.seq++
+	jctx, jcancel := context.WithCancel(m.root)
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", m.seq),
+		key:     key,
+		model:   model,
+		spec:    spec,
+		req:     req,
+		ctx:     jctx,
+		cancel:  jcancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		jcancel()
+		return Status{}, false, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.inflight[key] = j
+	m.mu.Unlock()
+	return j.status(), false, nil
+}
+
+// worker drains the queue until Shutdown closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job to a terminal state.
+func (m *Manager) run(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		m.finish(j)
+		return
+	}
+	if err := j.ctx.Err(); err != nil {
+		j.state = StateCanceled
+		j.err = err
+		j.mu.Unlock()
+		m.finish(j)
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	opts := append([]compiler.Option(nil), j.req.Options...)
+	opts = append(opts, compiler.WithProgress(func(ev compiler.ProgressEvent) {
+		j.mu.Lock()
+		j.progress = Progress{Stage: ev.Stage, Step: ev.Step, Total: ev.Total, BestWeight: ev.BestWeight}
+		j.mu.Unlock()
+	}))
+	if m.cfg.Store != nil {
+		opts = append(opts, compiler.WithStore(m.cfg.Store))
+	}
+	timeout := m.cfg.MaxJobTime
+	if j.req.Timeout > 0 && j.req.Timeout < timeout {
+		timeout = j.req.Timeout
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	defer cancel()
+	res, err := compiler.Compile(ctx, j.spec, j.req.Hamiltonian, opts...)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+	case errors.Is(err, context.Canceled) && j.ctx.Err() != nil:
+		j.state = StateCanceled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+	j.mu.Unlock()
+	m.finish(j)
+}
+
+// finish retires a job from the dedup index, closes its done channel,
+// and trims the retention ring.
+func (m *Manager) finish(j *job) {
+	m.mu.Lock()
+	if m.inflight[j.key] == j {
+		delete(m.inflight, j.key)
+	}
+	m.order = append(m.order, j.id)
+	for len(m.order) > m.cfg.KeepFinished {
+		delete(m.jobs, m.order[0])
+		m.order = m.order[1:]
+	}
+	m.mu.Unlock()
+	j.cancel() // release the context regardless of how the job ended
+	close(j.done)
+}
+
+// status snapshots a job; callers must not hold j.mu.
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:       j.id,
+		State:    j.state,
+		Model:    j.model,
+		Spec:     j.spec,
+		Attached: j.attached,
+		Progress: j.progress,
+		Error:    "",
+		Created:  j.created,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	switch {
+	case !j.finished.IsZero() && !j.started.IsZero():
+		st.Elapsed = j.finished.Sub(j.started)
+	case !j.started.IsZero():
+		st.Elapsed = time.Since(j.started)
+	}
+	return st
+}
+
+// lookup fetches a job by ID.
+func (m *Manager) lookup(id string) (*job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Status returns the pollable snapshot of a job.
+func (m *Manager) Status(id string) (Status, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	return j.status(), nil
+}
+
+// Result returns a finished job's compiled result. ErrNotDone while the
+// job is queued or running; the job's own error once it failed or was
+// canceled.
+func (m *Manager) Result(id string) (*compiler.Result, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed, StateCanceled:
+		return nil, j.err
+	default:
+		return nil, ErrNotDone
+	}
+}
+
+// Cancel aborts a queued or running job. Canceling a finished job is a
+// no-op; an unknown ID is ErrNotFound.
+func (m *Manager) Cancel(id string) (Status, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	// Retire the job from the dedup index right away: a canceled job
+	// must not capture later identical submissions (they would inherit
+	// its doom instead of compiling).
+	m.mu.Lock()
+	if m.inflight[j.key] == j {
+		delete(m.inflight, j.key)
+	}
+	m.mu.Unlock()
+	j.mu.Lock()
+	if j.state == StateQueued {
+		// Mark immediately so a poll never sees "queued" on a canceled
+		// job; the worker will skip it when it surfaces.
+		j.state = StateCanceled
+		j.err = context.Canceled
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return j.status(), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	j, err := m.lookup(id)
+	if err != nil {
+		return Status{}, err
+	}
+	select {
+	case <-j.done:
+		return j.status(), nil
+	case <-ctx.Done():
+		return j.status(), ctx.Err()
+	}
+}
+
+// QueueDepth returns (pending, capacity).
+func (m *Manager) QueueDepth() (int, int) { return len(m.queue), cap(m.queue) }
+
+// Counts tallies jobs by state across the retained table.
+func (m *Manager) Counts() map[State]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counts := make(map[State]int)
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	return counts
+}
+
+// Shutdown stops accepting submissions and drains: queued and running
+// jobs finish normally unless ctx expires first, at which point every
+// remaining job is canceled and Shutdown returns ctx.Err(). Idempotent.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		m.cancel()
+		return nil
+	case <-ctx.Done():
+		m.cancel() // abort in-flight jobs
+		<-drained
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,23 @@
+// Package version carries the build identity shared by every binary in
+// this repository (hattc, benchtab, hattd). The default is "dev"; CI
+// stamps release builds with
+//
+//	go build -ldflags "-X repro/internal/version.Version=<rev>" ./...
+//
+// so `<tool> -version` and the hattd /v1/healthz endpoint report which
+// revision is running.
+package version
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the build identifier, overridden at link time by CI.
+var Version = "dev"
+
+// String formats the version line printed by the -version flag of every
+// command: the tool name, the stamped revision, and the Go toolchain.
+func String(tool string) string {
+	return fmt.Sprintf("%s %s (%s %s/%s)", tool, Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -61,6 +61,9 @@ type Options struct {
 	// on ties (anneal).
 	AnnealRestarts int
 	Progress       func(ProgressEvent)
+	// Store, when non-nil, is consulted before and after every compile:
+	// hits skip the search, misses populate it. See WithStore.
+	Store Store
 }
 
 // Option mutates Options; see the With* constructors.
@@ -176,8 +179,10 @@ func (o Options) emit(ev ProgressEvent) {
 // Pauli weight of the Hamiltonian under the mapping (for tree
 // constructions it is the settled weight the build accumulated, which
 // equals the applied weight). Tree is nil for the constructive baselines,
-// which are not tree-derived. Optimal and Visited are populated by the
-// exhaustive fh search.
+// which are not tree-derived, and for results served from a Store, which
+// persists only the mapping. Optimal and Visited are populated by the
+// exhaustive fh search. Cached reports that the result came from an
+// attached Store rather than a fresh search.
 type Result struct {
 	Method          string
 	Mapping         *mapping.Mapping
@@ -185,6 +190,7 @@ type Result struct {
 	PredictedWeight int
 	Optimal         bool
 	Visited         int64
+	Cached          bool
 }
 
 // ParseTermOrder parses a term-order spec ("natural", "lex", "greedy")
@@ -203,16 +209,30 @@ func Compile(ctx context.Context, spec string, mh *fermion.MajoranaHamiltonian, 
 }
 
 // compileWith is Compile over already-resolved Options, shared with
-// Pipeline.Run so both stages see the same resolved values.
+// Pipeline.Run so both stages see the same resolved values. With a Store
+// attached it is the cache boundary: a content-address hit short-circuits
+// the method (the progress callback still sees StageStart/StageDone, so
+// observers need no cache awareness), a miss populates the store.
 func compileWith(ctx context.Context, spec string, mh *fermion.MajoranaHamiltonian, o Options) (*Result, error) {
 	m, err := Resolve(spec)
 	if err != nil {
 		return nil, err
 	}
+	cacheable := o.Store != nil && mh != nil
+	if cacheable {
+		if res, _, ok := storeLookup(spec, mh, o); ok {
+			o.emit(ProgressEvent{Method: m.Name(), Stage: StageStart})
+			o.emit(ProgressEvent{Method: m.Name(), Stage: StageDone, BestWeight: res.PredictedWeight})
+			return res, nil
+		}
+	}
 	o.emit(ProgressEvent{Method: m.Name(), Stage: StageStart})
 	res, err := m.Compile(ctx, mh, o)
 	if err != nil {
 		return nil, err
+	}
+	if cacheable {
+		storeSave(storeKey(spec, mh, o), res, o)
 	}
 	o.emit(ProgressEvent{Method: m.Name(), Stage: StageDone, BestWeight: res.PredictedWeight})
 	return res, nil

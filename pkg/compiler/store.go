@@ -1,0 +1,79 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/fermion"
+	"repro/internal/store"
+)
+
+// Store is the content-addressed result cache Compile and CompileBatch
+// consult when one is attached with WithStore. *store.Store is the
+// production implementation (bounded LRU plus optional disk tier); the
+// interface is narrow so tests can fake it.
+//
+// Implementations must be safe for concurrent use: a batch compiles many
+// items at once and every one of them consults the store.
+type Store interface {
+	Get(key store.Key) (*store.Entry, bool)
+	Put(key store.Key, entry *store.Entry)
+}
+
+// WithStore attaches a content-addressed result store. Before running a
+// method, Compile looks up (Hamiltonian fingerprint, method spec,
+// Options.Digest) and returns the stored mapping on a hit — skipping the
+// search entirely and marking the Result as Cached; on a miss the
+// compiled result is stored for the next caller. Results served from a
+// store carry a nil Tree: only the mapping and its scalar outcome fields
+// cross the cache boundary.
+func WithStore(s Store) Option { return func(o *Options) { o.Store = s } }
+
+// Digest returns a canonical encoding of the options that can change a
+// compiled mapping, used as the third component of the store key. Two
+// Options values with equal digests are guaranteed to compile every
+// (Hamiltonian, spec) pair identically, so they may share cache entries.
+//
+// Deliberately excluded: Parallelism (the engine's reproducibility
+// guarantee — a fixed seed compiles byte-identically at every worker
+// count), Progress (an observer), Store itself, and the Pipeline
+// synthesis knobs (TrotterSteps, TrotterTime, TermOrder), which shape the
+// synthesized circuit downstream of the mapping, not the mapping.
+func (o Options) Digest() string {
+	return fmt.Sprintf("v1;bw=%d;vb=%d;ai=%d;ats=%g;ate=%g;tb=%d;seed=%d;ar=%d",
+		o.BeamWidth, o.VisitBudget, o.AnnealIters, o.AnnealTStart, o.AnnealTEnd,
+		o.TieBreak, o.Seed, o.AnnealRestarts)
+}
+
+// storeKey assembles the content address of one compilation.
+func storeKey(spec string, mh *fermion.MajoranaHamiltonian, o Options) store.Key {
+	return store.Key{Hamiltonian: mh.Fingerprint(), Spec: spec, Options: o.Digest()}
+}
+
+// storeLookup consults the attached store, converting a stored entry
+// back into a Result.
+func storeLookup(spec string, mh *fermion.MajoranaHamiltonian, o Options) (*Result, store.Key, bool) {
+	key := storeKey(spec, mh, o)
+	e, ok := o.Store.Get(key)
+	if !ok {
+		return nil, key, false
+	}
+	return &Result{
+		Method:          e.Method,
+		Mapping:         e.Mapping,
+		PredictedWeight: e.PredictedWeight,
+		Optimal:         e.Optimal,
+		Visited:         e.Visited,
+		Cached:          true,
+	}, key, true
+}
+
+// storeSave records a freshly compiled result under the precomputed key.
+func storeSave(key store.Key, res *Result, o Options) {
+	o.Store.Put(key, &store.Entry{
+		Method:          res.Method,
+		Mapping:         res.Mapping,
+		PredictedWeight: res.PredictedWeight,
+		Optimal:         res.Optimal,
+		Visited:         res.Visited,
+	})
+}

@@ -1,0 +1,141 @@
+package compiler
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/fermion"
+)
+
+// streamWorkerCounts is the sweep the satellite task pins down: the
+// inline single-worker path, a fixed mid-size pool, and whatever the
+// host defaults to.
+func streamWorkerCounts() []int {
+	counts := []int{1, 4}
+	if gm := runtime.GOMAXPROCS(0); gm != 1 && gm != 4 {
+		counts = append(counts, gm)
+	}
+	return counts
+}
+
+// streamItems builds a batch mixing valid items with three distinct
+// failure shapes: a bad method spec, a bad model spec, and an item with
+// neither model nor Hamiltonian.
+func streamItems() []BatchItem {
+	h := fermion.NewHamiltonian(2)
+	h.AddHermitian(1, fermion.Op{Mode: 0, Dagger: true}, fermion.Op{Mode: 1})
+	return []BatchItem{
+		{Model: "h2", Spec: "jw"},
+		{Model: "h2", Spec: "definitely-not-a-method"},
+		{Model: "hubbard:1x2", Spec: "bk"},
+		{Model: "not-a-model", Spec: "jw"},
+		{Hamiltonian: h.Majorana(1e-12), Spec: "parity"},
+		{},            // neither model nor Hamiltonian
+		{Model: "h2"}, // empty spec defaults to hatt
+	}
+}
+
+func TestCompileBatchStreamDeliveryAndErrorIsolation(t *testing.T) {
+	items := streamItems()
+	wantErr := map[int]bool{1: true, 3: true, 5: true}
+
+	for _, workers := range streamWorkerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			seen := make(map[int]int)
+			var order []int
+			for br := range CompileBatchStream(context.Background(), items, WithParallelism(workers)) {
+				seen[br.Index]++
+				order = append(order, br.Index)
+				if br.Index < 0 || br.Index >= len(items) {
+					t.Fatalf("out-of-range index %d", br.Index)
+				}
+				if wantErr[br.Index] {
+					if br.Err == nil || br.Result != nil {
+						t.Errorf("item %d: want an error, got result=%v err=%v", br.Index, br.Result, br.Err)
+					}
+					continue
+				}
+				if br.Err != nil {
+					t.Errorf("item %d: unexpected error %v (a bad neighbor must not leak)", br.Index, br.Err)
+					continue
+				}
+				if br.Result == nil || br.Result.Mapping == nil {
+					t.Errorf("item %d: missing result", br.Index)
+				}
+			}
+			// Completeness: every index delivered exactly once, channel
+			// closed afterwards (the range loop exiting proves closure).
+			if len(seen) != len(items) {
+				t.Fatalf("delivered %d distinct indices, want %d", len(seen), len(items))
+			}
+			for i, n := range seen {
+				if n != 1 {
+					t.Fatalf("index %d delivered %d times", i, n)
+				}
+			}
+			// With one worker the pool runs inline in index order, so
+			// completion order must equal submission order.
+			if workers == 1 {
+				for pos, idx := range order {
+					if pos != idx {
+						t.Fatalf("single-worker delivery out of order: %v", order)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCompileBatchStreamMatchesCompileBatch(t *testing.T) {
+	items := streamItems()
+	for _, workers := range streamWorkerCounts() {
+		batch := CompileBatch(context.Background(), items, WithParallelism(workers))
+		if len(batch) != len(items) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(batch), len(items))
+		}
+		for i, br := range batch {
+			if br.Index != i {
+				t.Fatalf("workers=%d: result %d carries index %d", workers, i, br.Index)
+			}
+			if (br.Err != nil) != map[int]bool{1: true, 3: true, 5: true}[i] {
+				t.Fatalf("workers=%d item %d: err=%v", workers, i, br.Err)
+			}
+		}
+		// The default spec really is hatt.
+		if batch[6].Err != nil || batch[6].Result.Method != "hatt" {
+			t.Fatalf("empty-spec item compiled as %+v err=%v", batch[6].Result, batch[6].Err)
+		}
+	}
+}
+
+func TestCompileBatchStreamMappingsWorkerInvariant(t *testing.T) {
+	// The reproducibility guarantee extends through the stream: the same
+	// item compiles to byte-identical mappings at every worker count.
+	items := []BatchItem{
+		{Model: "hubbard:2x2", Spec: "hatt"},
+		{Model: "h2", Spec: "anneal"},
+	}
+	var ref []*Result
+	for _, workers := range streamWorkerCounts() {
+		out := make([]*Result, len(items))
+		for br := range CompileBatchStream(context.Background(), items, WithParallelism(workers), WithSeed(7)) {
+			if br.Err != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, br.Index, br.Err)
+			}
+			out[br.Index] = br.Result
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		for i := range items {
+			for j := range ref[i].Mapping.Majoranas {
+				if !ref[i].Mapping.Majoranas[j].Equal(out[i].Mapping.Majoranas[j]) {
+					t.Fatalf("workers=%d item %d: M%d differs from reference", workers, i, j)
+				}
+			}
+		}
+	}
+}
