@@ -47,6 +47,9 @@ func main() {
 	maxN := flag.Int("max-n", 20, "figure 12 maximum size")
 	fhMaxN := flag.Int("fh-max-n", 5, "figure 12 maximum FH size")
 	ablation := flag.String("ablation", "", "run an ablation study: beam | ordering | cache | tiebreak")
+	routed := flag.Bool("routed", false, "Table-IV-style routed comparison through pkg/compiler WithDevice")
+	routedDevices := flag.String("devices", strings.Join(bench.DefaultRoutedDevices, ","), "with -routed: comma-separated device specs")
+	routedMethods := flag.String("methods", strings.Join(bench.DefaultRoutedMethods, ","), "with -routed: comma-separated mapping methods")
 	perf := flag.Bool("perf", false, "run the sequential-vs-parallel compilation sweep")
 	jsonPath := flag.String("json", "", "with -perf: also write the sweep as JSON to this path (BENCH_*.json)")
 	workers := flag.Int("workers", 0, "with -perf: parallel worker count (0 = GOMAXPROCS)")
@@ -148,6 +151,14 @@ func main() {
 		return
 	}
 	switch {
+	case *routed:
+		rows, err := bench.RoutedComparison(opt,
+			strings.Split(*routedDevices, ","), strings.Split(*routedMethods, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		bench.PrintRouted(w, rows)
 	case *perf:
 		rep := bench.PerfSuite(opt, *workers)
 		bench.PrintPerf(w, rep)

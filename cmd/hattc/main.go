@@ -12,6 +12,13 @@
 //	hattc -model molecule:12 -mapping hatt -compare
 //	hattc -model hubbard:2x2 -mapping fh -fh-budget 2000000
 //	hattc -model hubbard:3x3 -mapping anneal -timeout 5s -progress
+//	hattc -m h2 -method hatt -device montreal
+//	hattc -m h2 -device-file ring6.json -qasm routed.qasm
+//
+// -m and -method are short aliases for -model and -mapping. A -device
+// (catalog spec) or -device-file (custom JSON edge list) additionally
+// routes the synthesized circuit onto that coupling graph and reports
+// the routed metrics.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/arch"
 	"repro/internal/fermion"
 	"repro/internal/models"
 	"repro/internal/prof"
@@ -38,14 +46,18 @@ func main() {
 
 func run() error {
 	model := flag.String("model", "h2", "model spec: "+models.SpecHelp)
+	flag.StringVar(model, "m", "h2", "short for -model")
 	input := flag.String("input", "", "read the fermionic Hamiltonian from a JSON file instead of -model")
 	method := flag.String("mapping", "hatt", "mapping method spec: "+strings.Join(compiler.Methods(), " | ")+" (beam:<width>, fh:<budget>)")
+	flag.StringVar(method, "method", "hatt", "short for -mapping")
+	device := flag.String("device", "", "route onto this catalog device: manhattan | sycamore | montreal | linear:<n> | grid:<r>x<c>")
+	deviceFile := flag.String("device-file", "", "route onto a custom device loaded from this JSON edge-list file")
 	showStrings := flag.Bool("strings", false, "print the Majorana Pauli strings")
 	compare := flag.Bool("compare", false, "compare all mappings on this model")
 	fhBudget := flag.Int64("fh-budget", 2_000_000, "exhaustive search visit budget for -mapping fh")
 	trotter := flag.Int("trotter", 1, "Trotter steps for the compiled circuit")
 	order := flag.String("order", "lex", "Trotter term order: natural | lex | greedy")
-	qasmOut := flag.String("qasm", "", "write the compiled circuit as OpenQASM 2.0 to this file ('-' for stdout)")
+	qasmOut := flag.String("qasm", "", "write the compiled circuit as OpenQASM 2.0 to this file ('-' for stdout); with a device set this is the routed circuit")
 	doTaper := flag.Bool("taper", false, "additionally report the Z2-tapered Hamiltonian (small systems only)")
 	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "print search progress to stderr")
@@ -73,6 +85,14 @@ func run() error {
 		for _, name := range compiler.Methods() {
 			fmt.Println(" ", name)
 		}
+		fmt.Println("devices (-device):")
+		for _, in := range arch.Catalog() {
+			if in.Qubits > 0 {
+				fmt.Printf("  %-14s %s (%d qubits, %d couplers)\n", in.Spec, in.Description, in.Qubits, in.Couplers)
+			} else {
+				fmt.Printf("  %-14s %s\n", in.Spec, in.Description)
+			}
+		}
 		fmt.Println("store/service options:")
 		fmt.Println("  -store-dir <dir>   content-addressed mapping reuse across runs (keyed by")
 		fmt.Println("                     Hamiltonian fingerprint, method spec, and options digest;")
@@ -89,6 +109,23 @@ func run() error {
 			return err
 		}
 		opts = append(opts, compiler.WithStore(st))
+	}
+	switch {
+	case *device != "" && *deviceFile != "":
+		return fmt.Errorf("-device and -device-file are mutually exclusive")
+	case *device != "":
+		// Validate eagerly for a prompt CLI error; the spec itself is what
+		// flows into the options (and the store content address).
+		if _, err := arch.Lookup(*device); err != nil {
+			return err
+		}
+		opts = append(opts, compiler.WithDevice(*device))
+	case *deviceFile != "":
+		d, err := arch.LoadDeviceFile(*deviceFile)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, compiler.WithDeviceSpec(d))
 	}
 
 	ord, err := parseOrderOption(*order)
@@ -186,6 +223,10 @@ func report(rep *compiler.Report, showStrings bool, qasmOut string) error {
 			fmt.Printf("  M%-3d = %s\n", j, s)
 		}
 	}
+	if r := rep.Routed; r != nil {
+		fmt.Printf("routed      device=%s (%d qubits)  swaps=%-6d cnot=%-8d u3=%-8d depth=%-8d cached=%v\n",
+			r.Device, r.PhysQubits, r.SwapsAdded, r.CNOTs, r.Singles, r.Depth, rep.Result.Cached)
+	}
 	if t := rep.Tapered; t != nil {
 		fmt.Printf("tapered     qubits=%d  pauli-weight=%-8d cnot=%-8d depth=%-8d E0=%.6f (%d symmetries)\n",
 			t.Qubits, t.Weight, t.CNOTs, t.Depth, t.GroundEnergy, t.Symmetries)
@@ -200,7 +241,11 @@ func report(rep *compiler.Report, showStrings bool, qasmOut string) error {
 			defer f.Close()
 			w = f
 		}
-		if err := rep.Circuit.WriteQASM(w); err != nil {
+		cc := rep.Circuit
+		if rep.Routed != nil {
+			cc = rep.Routed.Circuit
+		}
+		if err := cc.WriteQASM(w); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,9 @@
 package arch
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 )
@@ -20,29 +23,88 @@ type Device struct {
 	edges [][2]int
 }
 
-// NewDevice builds a device from an edge list.
-func NewDevice(name string, n int, edges [][2]int) *Device {
+// NewDevice builds a device from an edge list. Construction is the
+// validation boundary: a non-positive qubit count, a self-loop, or an
+// out-of-range endpoint is an error here (never a panic), so malformed
+// input — e.g. a custom device JSON — surfaces as a structured failure
+// to whoever supplied it.
+func NewDevice(name string, n int, edges [][2]int) (*Device, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("arch: device %q needs a positive qubit count, got %d", name, n)
+	}
 	d := &Device{Name: name, N: n, adj: make(map[int]map[int]bool)}
 	for i := 0; i < n; i++ {
 		d.adj[i] = make(map[int]bool)
 	}
 	for _, e := range edges {
-		d.AddEdge(e[0], e[1])
+		if err := d.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// mustDevice builds one of the package's own catalog devices, whose edge
+// lists are program constants: a failure is an internal invariant
+// violation, the one place a panic is still appropriate.
+func mustDevice(name string, n int, edges [][2]int) *Device {
+	d, err := NewDevice(name, n, edges)
+	if err != nil {
+		panic("arch: invalid built-in device: " + err.Error())
 	}
 	return d
 }
 
-// AddEdge inserts an undirected coupling.
-func (d *Device) AddEdge(a, b int) {
-	if a == b || a < 0 || b < 0 || a >= d.N || b >= d.N {
-		panic(fmt.Sprintf("arch: bad edge (%d,%d) on %s", a, b, d.Name))
+// AddEdge inserts an undirected coupling. Self-loops and out-of-range
+// endpoints are errors; inserting an existing edge is a no-op.
+func (d *Device) AddEdge(a, b int) error {
+	if a == b {
+		return fmt.Errorf("arch: self-loop edge (%d,%d) on %s", a, b, d.Name)
+	}
+	if a < 0 || b < 0 || a >= d.N || b >= d.N {
+		return fmt.Errorf("arch: edge (%d,%d) out of range on %s (%d qubits)", a, b, d.Name, d.N)
 	}
 	if d.adj[a][b] {
-		return
+		return nil
 	}
 	d.adj[a][b] = true
 	d.adj[b][a] = true
 	d.edges = append(d.edges, [2]int{a, b})
+	return nil
+}
+
+// Fingerprint returns a stable content hash of the device — name, qubit
+// count, and the sorted edge set — used to content-address compilation
+// results routed onto custom devices.
+func (d *Device) Fingerprint() string {
+	edges := make([][2]int, len(d.edges))
+	for i, e := range d.edges {
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		edges[i] = [2]int{a, b}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(d.Name)))
+	h.Write(buf[:])
+	h.Write([]byte(d.Name))
+	binary.LittleEndian.PutUint64(buf[:], uint64(d.N))
+	h.Write(buf[:])
+	for _, e := range edges {
+		binary.LittleEndian.PutUint64(buf[:], uint64(e[0]))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(e[1]))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // Coupled reports whether physical qubits a and b share a coupler.
@@ -159,7 +221,7 @@ func heavyHex(rows, rowLen, bridge, oddOff int) (int, [][2]int) {
 // (simplified layout with the correct qubit count and max degree 3).
 func Manhattan() *Device {
 	n, edges := heavyHex(5, 11, 4, 3)
-	return NewDevice("Manhattan", n, edges)
+	return mustDevice("Manhattan", n, edges)
 }
 
 // Montreal returns the 27-qubit IBM Montreal coupling graph (simplified
@@ -167,7 +229,7 @@ func Manhattan() *Device {
 // degree 4 in this abstraction).
 func Montreal() *Device {
 	n, edges := heavyHex(3, 7, 3, 0)
-	return NewDevice("Montreal", n, edges)
+	return mustDevice("Montreal", n, edges)
 }
 
 // Sycamore returns the 54-qubit Google Sycamore coupling graph: a 6×9
@@ -188,5 +250,5 @@ func Sycamore() *Device {
 			}
 		}
 	}
-	return NewDevice("Sycamore", rows*cols, edges)
+	return mustDevice("Sycamore", rows*cols, edges)
 }

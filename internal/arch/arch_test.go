@@ -7,6 +7,17 @@ import (
 	"repro/internal/pauli"
 )
 
+// testDevice builds a device, failing the test on construction errors —
+// the test-side counterpart of the error-returning public boundary.
+func testDevice(t *testing.T, name string, n int, edges [][2]int) *Device {
+	t.Helper()
+	d, err := NewDevice(name, n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 func TestDevicesWellFormed(t *testing.T) {
 	cases := []struct {
 		d    *Device
@@ -54,7 +65,7 @@ func TestHeavyHexDegreeProfile(t *testing.T) {
 }
 
 func TestShortestPath(t *testing.T) {
-	d := NewDevice("line", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	d := testDevice(t, "line", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
 	p := d.ShortestPath(0, 3)
 	if len(p) != 4 || p[0] != 0 || p[3] != 3 {
 		t.Errorf("path = %v", p)
@@ -62,7 +73,7 @@ func TestShortestPath(t *testing.T) {
 	if q := d.ShortestPath(2, 2); len(q) != 1 {
 		t.Errorf("self path = %v", q)
 	}
-	d2 := NewDevice("split", 4, [][2]int{{0, 1}, {2, 3}})
+	d2 := testDevice(t, "split", 4, [][2]int{{0, 1}, {2, 3}})
 	if d2.ShortestPath(0, 3) != nil {
 		t.Error("disconnected path should be nil")
 	}
@@ -72,7 +83,7 @@ func TestShortestPath(t *testing.T) {
 }
 
 func TestRouteRespectsCoupling(t *testing.T) {
-	d := NewDevice("line", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	d := testDevice(t, "line", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
 	c := circuit.New(4)
 	c.Append(circuit.H(0), circuit.CNOT(0, 3), circuit.CNOT(1, 2), circuit.CNOT(0, 3))
 	res, err := Route(c, d)
@@ -87,7 +98,7 @@ func TestRouteRespectsCoupling(t *testing.T) {
 }
 
 func TestRouteAdjacentNeedsNoSwaps(t *testing.T) {
-	d := NewDevice("line", 3, [][2]int{{0, 1}, {1, 2}})
+	d := testDevice(t, "line", 3, [][2]int{{0, 1}, {1, 2}})
 	c := circuit.New(2)
 	c.Append(circuit.CNOT(0, 1), circuit.CNOT(0, 1), circuit.CNOT(0, 1))
 	res, err := Route(c, d)
@@ -104,7 +115,7 @@ func TestRouteAdjacentNeedsNoSwaps(t *testing.T) {
 }
 
 func TestRouteTooLarge(t *testing.T) {
-	d := NewDevice("tiny", 2, [][2]int{{0, 1}})
+	d := testDevice(t, "tiny", 2, [][2]int{{0, 1}})
 	c := circuit.New(3)
 	if _, err := Route(c, d); err == nil {
 		t.Error("oversized circuit accepted")
@@ -156,7 +167,7 @@ func TestInitialLayoutCoLocatesPartners(t *testing.T) {
 }
 
 func TestNearestFree(t *testing.T) {
-	d := NewDevice("line", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	d := testDevice(t, "line", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
 	used := []bool{true, true, false, false}
 	if p := nearestFree(d, 0, used); p != 2 {
 		t.Errorf("nearestFree = %d, want 2", p)

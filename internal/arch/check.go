@@ -1,0 +1,27 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// CheckCoupling verifies that a routed circuit is executable on the
+// device: it fits the qubit count and every two-qubit gate acts on a
+// coupled pair. It is the independent auditor behind the CI route-smoke
+// job (via internal/arch/couplingcheck) and the routing property tests —
+// deliberately dumb, so a router bug cannot hide in shared logic.
+func CheckCoupling(c *circuit.Circuit, d *Device) error {
+	if c.N > d.N {
+		return fmt.Errorf("arch: circuit uses %d qubits, %s has %d", c.N, d.Name, d.N)
+	}
+	for i, g := range c.Gates {
+		if g.Kind != circuit.KindCNOT {
+			continue
+		}
+		if !d.Coupled(g.Q2, g.Q) {
+			return fmt.Errorf("arch: gate %d: CNOT %d→%d not coupled on %s", i, g.Q2, g.Q, d.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command couplingcheck is the independent auditor the CI route-smoke
+// job runs: given a device and a routed circuit in OpenQASM 2.0, it
+// verifies every two-qubit gate respects the device's coupling graph and
+// prints the gate accounting. It exits non-zero on any violation, so
+// `go run ./internal/arch/couplingcheck -device montreal -qasm routed.qasm`
+// is a one-line hardware-validity gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "couplingcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	device := flag.String("device", "", "catalog device spec (manhattan | sycamore | montreal | linear:<n> | grid:<r>x<c>)")
+	deviceFile := flag.String("device-file", "", "custom device JSON edge-list file instead of -device")
+	qasm := flag.String("qasm", "-", "routed circuit in OpenQASM 2.0 ('-' = stdin)")
+	flag.Parse()
+
+	var d *arch.Device
+	var err error
+	switch {
+	case *device != "" && *deviceFile != "":
+		return fmt.Errorf("-device and -device-file are mutually exclusive")
+	case *device != "":
+		d, err = arch.Lookup(*device)
+	case *deviceFile != "":
+		d, err = arch.LoadDeviceFile(*deviceFile)
+	default:
+		return fmt.Errorf("need -device or -device-file")
+	}
+	if err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *qasm != "-" {
+		f, err := os.Open(*qasm)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	c, err := circuit.ReadQASM(r)
+	if err != nil {
+		return err
+	}
+	if err := arch.CheckCoupling(c, d); err != nil {
+		return err
+	}
+	fmt.Printf("ok: %d gates (%d cx, %d u3, depth %d) on %s (%d qubits, %d couplers)\n",
+		len(c.Gates), c.CNOTCount(), c.SingleCount(), c.Depth(), d.Name, d.N, len(d.Edges()))
+	return nil
+}

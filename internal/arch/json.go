@@ -1,0 +1,66 @@
+package arch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DeviceSpec is the JSON wire/file schema for a custom device:
+//
+//	{"name": "ring6", "qubits": 6, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]]}
+//
+// Edges are undirected; duplicates are tolerated, self-loops and
+// out-of-range endpoints are errors.
+type DeviceSpec struct {
+	Name   string  `json:"name"`
+	Qubits int     `json:"qubits"`
+	Edges  [][]int `json:"edges"` // each entry exactly [a, b]
+}
+
+// Device validates the spec and builds the coupling graph.
+func (s *DeviceSpec) Device() (*Device, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("arch: custom device needs a name")
+	}
+	if s.Qubits > MaxSpecQubits {
+		return nil, fmt.Errorf("arch: custom device %q has %d qubits (max %d)", s.Name, s.Qubits, MaxSpecQubits)
+	}
+	edges := make([][2]int, len(s.Edges))
+	for i, e := range s.Edges {
+		if len(e) != 2 {
+			return nil, fmt.Errorf("arch: custom device %q edge %d has %d endpoints, want 2", s.Name, i, len(e))
+		}
+		edges[i] = [2]int{e[0], e[1]}
+	}
+	return NewDevice(s.Name, s.Qubits, edges)
+}
+
+// ParseDeviceJSON decodes and validates a custom-device JSON document.
+// Unknown fields and trailing garbage are rejected so a typo'd schema
+// fails loudly; every failure is an error, never a panic — the service
+// maps these straight to structured 4xx responses.
+func ParseDeviceJSON(raw []byte) (*Device, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var spec DeviceSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("arch: invalid device JSON: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("arch: trailing data after device JSON")
+	}
+	return spec.Device()
+}
+
+// LoadDeviceFile reads a custom device from a JSON edge-list file
+// (hattc -device-file).
+func LoadDeviceFile(path string) (*Device, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseDeviceJSON(raw)
+}

@@ -1,0 +1,86 @@
+package arch
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseDeviceJSON(t *testing.T) {
+	d, err := ParseDeviceJSON([]byte(`{"name":"ring4","qubits":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "ring4" || d.N != 4 || len(d.Edges()) != 4 {
+		t.Errorf("parsed device %q N=%d edges=%d", d.Name, d.N, len(d.Edges()))
+	}
+	if !d.Coupled(3, 0) {
+		t.Error("edge (3,0) missing")
+	}
+}
+
+func TestParseDeviceJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":         `ring`,
+		"unknown field":    `{"name":"x","qubits":2,"edges":[[0,1]],"frequency":5}`,
+		"trailing garbage": `{"name":"x","qubits":2,"edges":[[0,1]]} {"more":1}`,
+		"missing name":     `{"qubits":2,"edges":[[0,1]]}`,
+		"zero qubits":      `{"name":"x","qubits":0,"edges":[]}`,
+		"self loop":        `{"name":"x","qubits":2,"edges":[[1,1]]}`,
+		"out of range":     `{"name":"x","qubits":2,"edges":[[0,2]]}`,
+		"negative":         `{"name":"x","qubits":2,"edges":[[-1,0]]}`,
+		"oversized":        `{"name":"x","qubits":99999999,"edges":[]}`,
+		"edge arity":       `{"name":"x","qubits":3,"edges":[[0,1,2]]}`,
+	}
+	for label, raw := range cases {
+		if _, err := ParseDeviceJSON([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted %s", label, raw)
+		}
+	}
+}
+
+func TestLoadDeviceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.json")
+	if err := os.WriteFile(path, []byte(`{"name":"pair","qubits":2,"edges":[[0,1]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDeviceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "pair" || d.N != 2 {
+		t.Errorf("loaded %q N=%d", d.Name, d.N)
+	}
+	if _, err := LoadDeviceFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// FuzzParseDeviceJSON pins the loader's contract: arbitrary bytes never
+// panic, and anything it does accept satisfies the device invariants.
+func FuzzParseDeviceJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"ring4","qubits":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}`))
+	f.Add([]byte(`{"name":"x","qubits":2,"edges":[[0,1]]}`))
+	f.Add([]byte(`{"name":"x","qubits":0,"edges":[]}`))
+	f.Add([]byte(`{"qubits":1e9}`))
+	f.Add([]byte(`[[0,1]]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d, err := ParseDeviceJSON(raw)
+		if err != nil {
+			return
+		}
+		if d.Name == "" || d.N <= 0 || d.N > MaxSpecQubits {
+			t.Fatalf("accepted device violates invariants: %q N=%d", d.Name, d.N)
+		}
+		for _, e := range d.Edges() {
+			if e[0] == e[1] || e[0] < 0 || e[1] < 0 || e[0] >= d.N || e[1] >= d.N {
+				t.Fatalf("accepted bad edge %v on %d qubits", e, d.N)
+			}
+			if !d.Coupled(e[0], e[1]) || !d.Coupled(e[1], e[0]) {
+				t.Fatalf("edge %v not symmetric", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/pauli"
+	"repro/internal/sim"
+)
+
+// randomLogical synthesizes a Trotter circuit for a seeded random
+// Hamiltonian on n qubits — the same kind of workload the compiler
+// routes in production.
+func randomLogical(seed int64, n, terms int) *circuit.Circuit {
+	r := rand.New(rand.NewSource(seed))
+	h := pauli.NewHamiltonian(n)
+	for t := 0; t < terms; t++ {
+		s := pauli.Identity(n)
+		support := 0
+		for q := 0; q < n; q++ {
+			if r.Intn(3) == 0 {
+				s.SetLetter(q, pauli.Letter(1+r.Intn(3)))
+				support++
+			}
+		}
+		if support == 0 {
+			s.SetLetter(r.Intn(n), pauli.X)
+		}
+		h.Add(complex(0.1+r.Float64(), 0), s)
+	}
+	return circuit.Compile(h, circuit.OrderLexicographic)
+}
+
+// TestRoutePropertyCatalog routes random workloads onto every catalog
+// device and checks the structural invariants that hold at any size:
+// the routed circuit respects the coupling graph, the final layout is a
+// valid injection, and the CNOT accounting matches — at most
+// logical + 3·swaps CNOTs survive the peephole pass, with the same
+// parity (cancellation removes pairs).
+func TestRoutePropertyCatalog(t *testing.T) {
+	devices := []string{"manhattan", "sycamore", "montreal", "linear:12", "grid:4x5"}
+	for _, spec := range devices {
+		d, err := Lookup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			n := 4 + int(seed)*2 // 6..10 logical qubits
+			if n > d.N {
+				n = d.N
+			}
+			logical := randomLogical(seed, n, 8)
+			res, err := Route(logical, d)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", spec, seed, err)
+			}
+			if err := CheckCoupling(res.Circuit, d); err != nil {
+				t.Fatalf("%s seed %d: %v", spec, seed, err)
+			}
+			seen := map[int]bool{}
+			for l, p := range res.FinalLayout {
+				if p < 0 || p >= d.N || seen[p] {
+					t.Fatalf("%s seed %d: bad layout %v at logical %d", spec, seed, res.FinalLayout, l)
+				}
+				seen[p] = true
+			}
+			preOpt := logical.CNOTCount() + 3*res.SwapsAdded
+			got := res.Circuit.CNOTCount()
+			if got > preOpt {
+				t.Fatalf("%s seed %d: routed CNOTs %d exceed accounting bound %d", spec, seed, got, preOpt)
+			}
+			if (preOpt-got)%2 != 0 {
+				t.Fatalf("%s seed %d: peephole removed an odd CNOT count (%d → %d)", spec, seed, preOpt, got)
+			}
+		}
+	}
+}
+
+// TestRoutePropertySemantics checks full unitary-action equivalence on
+// devices small enough to state-vector simulate: the routed circuit,
+// read back through the final layout, must act identically to the
+// logical circuit on every seed tried.
+func TestRoutePropertySemantics(t *testing.T) {
+	devices := []string{"linear:5", "linear:6", "grid:2x3", "grid:3x3"}
+	for _, spec := range devices {
+		d, err := Lookup(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 4; seed++ {
+			n := d.N - int(seed)%2 // exercise both full and partial occupancy
+			logical := randomLogical(seed*31, n, 6)
+			res, err := Route(logical, d)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", spec, seed, err)
+			}
+			assertSameAction(t, fmt.Sprintf("%s seed %d", spec, seed), logical, res)
+		}
+	}
+}
+
+// assertSameAction simulates both circuits from |0…0⟩ and compares the
+// routed state, read back through FinalLayout, against the logical one
+// up to a global phase.
+func assertSameAction(t *testing.T, label string, logical *circuit.Circuit, res *RouteResult) {
+	t.Helper()
+	ls := sim.NewState(logical.N)
+	ls.ApplyCircuit(logical)
+	ps := sim.NewState(res.Circuit.N)
+	ps.ApplyCircuit(res.Circuit)
+
+	physIndex := func(b int) int {
+		pb := 0
+		for q := 0; q < logical.N; q++ {
+			if b>>uint(q)&1 == 1 {
+				pb |= 1 << uint(res.FinalLayout[q])
+			}
+		}
+		return pb
+	}
+	var phase complex128
+	total := 0.0
+	for b := 0; b < 1<<logical.N; b++ {
+		la, pa := ls.Amp[b], ps.Amp[physIndex(b)]
+		total += real(pa)*real(pa) + imag(pa)*imag(pa)
+		if cmplx.Abs(la) < 1e-10 && cmplx.Abs(pa) < 1e-10 {
+			continue
+		}
+		if cmplx.Abs(la) < 1e-10 || cmplx.Abs(pa) < 1e-10 {
+			t.Fatalf("%s: amplitude support mismatch at %b", label, b)
+		}
+		if phase == 0 {
+			phase = pa / la
+			if math.Abs(cmplx.Abs(phase)-1) > 1e-9 {
+				t.Fatalf("%s: non-unit relative phase %v", label, phase)
+			}
+			continue
+		}
+		if cmplx.Abs(la*phase-pa) > 1e-9 {
+			t.Fatalf("%s: routed amplitude differs at %b", label, b)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("%s: routed state leaks outside the layout subspace: %v", label, total)
+	}
+}
+
+func TestCheckCouplingCatchesViolations(t *testing.T) {
+	d := testDevice(t, "line", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	good := circuit.New(4)
+	good.Append(circuit.H(0), circuit.CNOT(1, 2))
+	if err := CheckCoupling(good, d); err != nil {
+		t.Errorf("valid circuit rejected: %v", err)
+	}
+	bad := circuit.New(4)
+	bad.Append(circuit.CNOT(0, 3))
+	if err := CheckCoupling(bad, d); err == nil {
+		t.Error("uncoupled CNOT accepted")
+	}
+	big := circuit.New(5)
+	if err := CheckCoupling(big, d); err == nil {
+		t.Error("oversized circuit accepted")
+	}
+}

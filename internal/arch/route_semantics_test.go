@@ -14,7 +14,7 @@ import (
 // version and checks they produce the same state once the routed
 // amplitudes are read back through the final layout permutation.
 func TestRoutePreservesSemantics(t *testing.T) {
-	d := NewDevice("line5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	d := testDevice(t, "line5", 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
 	h := pauli.NewHamiltonian(4)
 	h.Add(0.4, pauli.MustParse("XIIX"))
 	h.Add(0.3, pauli.MustParse("IZZI"))

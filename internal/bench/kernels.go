@@ -30,22 +30,33 @@ type KernelRecord struct {
 // measureKernel times f over iters runs on a quiesced heap and reports
 // per-op wall time and allocation counts. It is deliberately lighter than
 // testing.Benchmark (fixed iteration counts, one GC) so the whole kernel
-// suite stays cheap enough for CI and unit tests.
+// suite stays cheap enough for CI and unit tests. The timing window runs
+// five times and the fastest wins — transient host noise only ever
+// inflates a measurement, so the minimum is the stable estimate the CI
+// bench-regression gate compares across runs; allocation counters are
+// deterministic and come from the first window.
 func measureKernel(iters int, f func()) (ns, allocs, bytes float64) {
 	f() // warm caches and lazy initialization outside the window
-	runtime.GC()
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
-	t0 := time.Now()
-	for i := 0; i < iters; i++ {
-		f()
+	for rep := 0; rep < 5; rep++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		d := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		n := float64(iters)
+		if w := float64(d.Nanoseconds()) / n; rep == 0 || w < ns {
+			ns = w
+		}
+		if rep == 0 {
+			allocs = float64(m1.Mallocs-m0.Mallocs) / n
+			bytes = float64(m1.TotalAlloc-m0.TotalAlloc) / n
+		}
 	}
-	d := time.Since(t0)
-	runtime.ReadMemStats(&m1)
-	n := float64(iters)
-	return float64(d.Nanoseconds()) / n,
-		float64(m1.Mallocs-m0.Mallocs) / n,
-		float64(m1.TotalAlloc-m0.TotalAlloc) / n
+	return ns, allocs, bytes
 }
 
 func kernelPair(out []KernelRecord, kernel string, iters int, baseline, fast func()) []KernelRecord {

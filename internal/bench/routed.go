@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/pkg/compiler"
+)
+
+// RoutedRow is one (device, case, method) cell of the Table-IV-style
+// hardware comparison, produced through the pkg/compiler facade's
+// device-aware path (WithDevice) rather than by calling the router
+// directly — so the table measures exactly what the public API serves.
+type RoutedRow struct {
+	Device string
+	Case   string
+	Modes  int
+	Method string
+	Weight int
+	Swaps  int
+	CNOTs  int
+	U3s    int
+	Depth  int
+}
+
+// DefaultRoutedDevices and DefaultRoutedMethods are the Table-IV axes.
+var (
+	DefaultRoutedDevices = []string{"manhattan", "sycamore", "montreal"}
+	DefaultRoutedMethods = []string{"jw", "hatt"}
+)
+
+// RoutedComparison compiles every catalog case with each method and
+// routes it onto each device via compiler.Compile + WithDevice. Cases
+// that do not fit a device are skipped, mirroring Table4.
+func RoutedComparison(opt Options, devices, methods []string) ([]RoutedRow, error) {
+	ctx := context.Background()
+	var rows []RoutedRow
+	for _, c := range table45Catalog(opt) {
+		mh := c.Build().Majorana(1e-12)
+		for _, dev := range devices {
+			d, err := arch.Lookup(dev)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %w", err)
+			}
+			if c.Modes > d.N {
+				continue
+			}
+			for _, method := range methods {
+				res, err := compiler.Compile(ctx, method, mh, compiler.WithDevice(dev))
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s/%s on %s: %w", c.Name, method, dev, err)
+				}
+				r := res.Routed
+				if r == nil {
+					return nil, fmt.Errorf("bench: %s/%s on %s: no routed metrics", c.Name, method, dev)
+				}
+				rows = append(rows, RoutedRow{
+					Device: r.Device,
+					Case:   c.Name,
+					Modes:  c.Modes,
+					Method: method,
+					Weight: res.PredictedWeight,
+					Swaps:  r.SwapsAdded,
+					CNOTs:  r.CNOTs,
+					U3s:    r.Singles,
+					Depth:  r.Depth,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// PrintRouted renders the routed comparison grouped by device.
+func PrintRouted(w io.Writer, rows []RoutedRow) {
+	fmt.Fprintln(w, "== Routed comparison: tetris-lite via pkg/compiler WithDevice ==")
+	fmt.Fprintf(w, "%-10s %-16s %5s %-10s | %8s %8s %8s %8s %8s\n",
+		"Device", "Case", "Modes", "Method", "Weight", "Swaps", "CX", "U3", "Depth")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-16s %5d %-10s | %8d %8d %8d %8d %8d\n",
+			r.Device, r.Case, r.Modes, r.Method, r.Weight, r.Swaps, r.CNOTs, r.U3s, r.Depth)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoutedComparison(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxModes = 6
+	rows, err := RoutedComparison(opt, []string{"montreal", "linear:8"}, []string{"jw", "hatt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	seenDevice := map[string]bool{}
+	for _, r := range rows {
+		seenDevice[r.Device] = true
+		if r.CNOTs <= 0 || r.Depth <= 0 || r.Weight <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	if !seenDevice["Montreal"] || !seenDevice["linear:8"] {
+		t.Errorf("devices covered: %v", seenDevice)
+	}
+	var buf bytes.Buffer
+	PrintRouted(&buf, rows)
+	if !strings.Contains(buf.String(), "Montreal") {
+		t.Error("printout missing device column")
+	}
+}
+
+func TestRoutedComparisonRejectsBadDevice(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxModes = 4
+	if _, err := RoutedComparison(opt, []string{"nope"}, []string{"jw"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}

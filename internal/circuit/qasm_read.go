@@ -1,0 +1,128 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadQASM parses the OpenQASM 2.0 subset WriteQASM emits — one qreg,
+// cx, and u3 over it — back into a Circuit, so routed circuits shipped
+// across process boundaries (service responses, CI artifacts) can be
+// independently re-checked. Comments and blank lines are skipped;
+// anything else is an error.
+func ReadQASM(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var c *Circuit
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if i := strings.Index(s, "//"); i >= 0 {
+			s = strings.TrimSpace(s[:i])
+		}
+		if s == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(s, "OPENQASM"), strings.HasPrefix(s, "include"):
+			continue
+		case strings.HasPrefix(s, "qreg"):
+			if c != nil {
+				return nil, fmt.Errorf("circuit: line %d: multiple qreg declarations", line)
+			}
+			n, err := parseQASMIndex(strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(s, "qreg")), ";"))
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: %v", line, err)
+			}
+			if n <= 0 {
+				return nil, fmt.Errorf("circuit: line %d: qreg needs a positive size", line)
+			}
+			c = New(n)
+		case strings.HasPrefix(s, "cx"):
+			if c == nil {
+				return nil, fmt.Errorf("circuit: line %d: gate before qreg", line)
+			}
+			args := strings.Split(strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(s, "cx")), ";"), ",")
+			if len(args) != 2 {
+				return nil, fmt.Errorf("circuit: line %d: cx needs two operands", line)
+			}
+			ctrl, err1 := parseQASMIndex(args[0])
+			tgt, err2 := parseQASMIndex(args[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("circuit: line %d: bad cx operands %q", line, s)
+			}
+			if err := appendChecked(c, CNOT(ctrl, tgt)); err != nil {
+				return nil, fmt.Errorf("circuit: line %d: %v", line, err)
+			}
+		case strings.HasPrefix(s, "u3"):
+			if c == nil {
+				return nil, fmt.Errorf("circuit: line %d: gate before qreg", line)
+			}
+			rest := strings.TrimPrefix(s, "u3")
+			open := strings.Index(rest, "(")
+			close := strings.Index(rest, ")")
+			if open != 0 || close < 0 {
+				return nil, fmt.Errorf("circuit: line %d: bad u3 syntax %q", line, s)
+			}
+			angles := strings.Split(rest[1:close], ",")
+			if len(angles) != 3 {
+				return nil, fmt.Errorf("circuit: line %d: u3 needs three angles", line)
+			}
+			var tpl [3]float64
+			for i, a := range angles {
+				v, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+				if err != nil {
+					return nil, fmt.Errorf("circuit: line %d: bad u3 angle %q", line, a)
+				}
+				tpl[i] = v
+			}
+			q, err := parseQASMIndex(strings.TrimSuffix(strings.TrimSpace(rest[close+1:]), ";"))
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: %v", line, err)
+			}
+			g := Gate{Kind: KindSingle, Q: q, Q2: -1, Label: "U3", M: u3Matrix(tpl[0], tpl[1], tpl[2])}
+			if err := appendChecked(c, g); err != nil {
+				return nil, fmt.Errorf("circuit: line %d: %v", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("circuit: line %d: unsupported QASM statement %q", line, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("circuit: QASM input has no qreg declaration")
+	}
+	return c, nil
+}
+
+// appendChecked is Circuit.Append with the bad-gate panic converted to
+// an error, since ReadQASM consumes untrusted input.
+func appendChecked(c *Circuit, g Gate) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	c.Append(g)
+	return nil
+}
+
+// parseQASMIndex extracts i from an operand like "q[i]".
+func parseQASMIndex(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "[")
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("bad operand %q", s)
+	}
+	n, err := strconv.Atoi(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, fmt.Errorf("bad operand %q", s)
+	}
+	return n, nil
+}

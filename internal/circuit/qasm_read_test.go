@@ -1,0 +1,85 @@
+package circuit
+
+import (
+	"math/cmplx"
+	"strings"
+	"testing"
+)
+
+func TestReadQASMRoundTrip(t *testing.T) {
+	c := New(3)
+	c.Append(H(0), CNOT(0, 1), Rz(1, 0.7), RxPlus(2), CNOT(2, 0), X(1))
+	back, err := ReadQASM(strings.NewReader(c.QASM()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != c.N || len(back.Gates) != len(c.Gates) {
+		t.Fatalf("round trip: %d qubits / %d gates, want %d / %d",
+			back.N, len(back.Gates), c.N, len(c.Gates))
+	}
+	for i, g := range c.Gates {
+		bg := back.Gates[i]
+		if g.Kind != bg.Kind || g.Q != bg.Q {
+			t.Fatalf("gate %d: %+v vs %+v", i, g, bg)
+		}
+		if g.Kind == KindCNOT {
+			if g.Q2 != bg.Q2 {
+				t.Fatalf("gate %d: control %d vs %d", i, g.Q2, bg.Q2)
+			}
+			continue
+		}
+		// Single-qubit matrices agree up to the global phase u3 drops.
+		var phase complex128
+		for r := 0; r < 2; r++ {
+			for col := 0; col < 2; col++ {
+				a, b := g.M[r][col], bg.M[r][col]
+				if cmplx.Abs(a) < 1e-8 && cmplx.Abs(b) < 1e-8 {
+					continue
+				}
+				if cmplx.Abs(a) < 1e-8 || cmplx.Abs(b) < 1e-8 {
+					t.Fatalf("gate %d: matrix support differs", i)
+				}
+				if phase == 0 {
+					phase = b / a
+					continue
+				}
+				if cmplx.Abs(a*phase-b) > 1e-7 {
+					t.Fatalf("gate %d: matrices differ beyond global phase", i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadQASMRejects(t *testing.T) {
+	cases := map[string]string{
+		"no qreg":          "OPENQASM 2.0;\ncx q[0],q[1];\n",
+		"double qreg":      "qreg q[2];\nqreg r[2];\n",
+		"bad statement":    "qreg q[2];\nh q[0];\n",
+		"cx arity":         "qreg q[2];\ncx q[0];\n",
+		"cx self":          "qreg q[2];\ncx q[1],q[1];\n",
+		"cx out of range":  "qreg q[2];\ncx q[0],q[2];\n",
+		"u3 angle":         "qreg q[2];\nu3(a,0,0) q[0];\n",
+		"u3 out of range":  "qreg q[1];\nu3(1,2,3) q[4];\n",
+		"zero-size qreg":   "qreg q[0];\n",
+		"malformed index":  "qreg q[x];\n",
+		"empty":            "",
+		"garbage operands": "qreg q[2];\ncx foo,bar;\n",
+	}
+	for label, src := range cases {
+		if _, err := ReadQASM(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", label, src)
+		}
+	}
+}
+
+func TestReadQASMSkipsCommentsAndBlanks(t *testing.T) {
+	src := "// header\nOPENQASM 2.0;\ninclude \"qelib1.inc\";\n\nqreg q[2];\ncx q[0],q[1]; // tail comment\n"
+	c, err := ReadQASM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 2 || c.CNOTCount() != 1 {
+		t.Errorf("parsed %d qubits, %d CNOTs", c.N, c.CNOTCount())
+	}
+}

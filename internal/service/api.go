@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/fermion"
 	"repro/internal/models"
 	"repro/internal/store"
@@ -96,6 +97,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
 	mux.HandleFunc("GET /v1/methods", a.handleMethods)
+	mux.HandleFunc("GET /v1/devices", a.handleDevices)
 	mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", a.handleStats)
 	return recoverJSON(mux)
@@ -167,8 +169,21 @@ type compileRequest struct {
 	Options     *requestOptions `json:"options,omitempty"`
 	TimeoutMS   int64           `json:"timeout_ms,omitempty"`
 	Strings     bool            `json:"include_strings,omitempty"`
+	// Device targets a catalog coupling graph by spec (montreal,
+	// sycamore, manhattan, linear:<n>, grid:<r>x<c>); CustomDevice is an
+	// arch.DeviceSpec JSON edge list. Either makes the compile route the
+	// synthesized circuit and report routed metrics.
+	Device       string          `json:"device,omitempty"`
+	CustomDevice json.RawMessage `json:"custom_device,omitempty"`
 
-	mh *fermion.MajoranaHamiltonian // resolved by decodeCompileRequest
+	mh      *fermion.MajoranaHamiltonian // resolved by decodeCompileRequest
+	devOpts []compiler.Option            // resolved device options
+	// routedQASM gates embedding the routed circuit text in responses.
+	// For sync compiles it mirrors Strings; for job polls it is the
+	// submission's include_strings (mapping strings stay unconditional
+	// there — the async flow has no other endpoint to fetch them from,
+	// but the routed QASM can be hundreds of KB per poll).
+	routedQASM bool
 }
 
 // requestOptions is the JSON mirror of the compiler's result-affecting
@@ -286,6 +301,25 @@ func (a *API) decodeCompileRequest(r *http.Request) (*compileRequest, *apiError)
 		return nil, badRequest("timeout_ms must be ≥ 0")
 	}
 
+	// Device targeting: validated here so a bad spec or malformed custom
+	// JSON is a structured 4xx before any compilation work.
+	req.routedQASM = req.Strings
+	switch {
+	case req.Device != "" && len(req.CustomDevice) > 0:
+		return nil, badRequest("device and custom_device are mutually exclusive")
+	case req.Device != "":
+		if _, err := arch.Lookup(req.Device); err != nil {
+			return nil, badRequest("%v", err)
+		}
+		req.devOpts = []compiler.Option{compiler.WithDevice(req.Device)}
+	case len(req.CustomDevice) > 0:
+		d, err := arch.ParseDeviceJSON(req.CustomDevice)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		req.devOpts = []compiler.Option{compiler.WithDeviceSpec(d)}
+	}
+
 	switch {
 	case len(req.Hamiltonian) > 0:
 		h, err := fermion.ReadJSON(bytes.NewReader(req.Hamiltonian))
@@ -324,15 +358,32 @@ func (a *API) decodeCompileRequest(r *http.Request) (*compileRequest, *apiError)
 
 // compileResponse is the wire shape of a successful compile.
 type compileResponse struct {
-	Model       string   `json:"model"`
-	Method      string   `json:"method"`
-	Modes       int      `json:"modes"`
-	Qubits      int      `json:"qubits"`
-	PauliWeight int      `json:"pauli_weight"`
-	Optimal     bool     `json:"optimal,omitempty"`
-	Cached      bool     `json:"cached"`
-	ElapsedMS   float64  `json:"elapsed_ms"`
-	Mapping     []string `json:"mapping,omitempty"`
+	Model       string          `json:"model"`
+	Method      string          `json:"method"`
+	Modes       int             `json:"modes"`
+	Qubits      int             `json:"qubits"`
+	PauliWeight int             `json:"pauli_weight"`
+	Optimal     bool            `json:"optimal,omitempty"`
+	Cached      bool            `json:"cached"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+	Mapping     []string        `json:"mapping,omitempty"`
+	Routed      *routedResponse `json:"routed,omitempty"`
+}
+
+// routedResponse is the hardware-mapped view of a compile when the
+// request targeted a device.
+type routedResponse struct {
+	Device      string `json:"device"`
+	PhysQubits  int    `json:"physical_qubits"`
+	SwapsAdded  int    `json:"swaps_added"`
+	CNOTs       int    `json:"cnots"`
+	Singles     int    `json:"u3s"`
+	Depth       int    `json:"depth"`
+	FinalLayout []int  `json:"final_layout"`
+	// QASM is the routed circuit itself (OpenQASM 2.0), included under
+	// include_strings so the CI route-smoke job can independently audit
+	// coupling validity and byte-identical cache replay.
+	QASM string `json:"qasm,omitempty"`
 }
 
 func toResponse(req *compileRequest, res *compiler.Result, elapsed time.Duration) compileResponse {
@@ -352,6 +403,20 @@ func toResponse(req *compileRequest, res *compiler.Result, elapsed time.Duration
 			resp.Mapping[j] = s.String()
 		}
 	}
+	if r := res.Routed; r != nil {
+		resp.Routed = &routedResponse{
+			Device:      r.Device,
+			PhysQubits:  r.PhysQubits,
+			SwapsAdded:  r.SwapsAdded,
+			CNOTs:       r.CNOTs,
+			Singles:     r.Singles,
+			Depth:       r.Depth,
+			FinalLayout: r.FinalLayout,
+		}
+		if req.routedQASM && r.Circuit != nil {
+			resp.Routed.QASM = r.Circuit.QASM()
+		}
+	}
 	return resp
 }
 
@@ -369,6 +434,7 @@ func (a *API) compileSync(ctx context.Context, req *compileRequest) (*compiler.R
 		}
 		opts = o
 	}
+	opts = append(opts, req.devOpts...)
 	if a.mgr != nil && a.mgr.cfg.Store != nil {
 		opts = append(opts, compiler.WithStore(a.mgr.cfg.Store))
 	}
@@ -432,12 +498,14 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		opts = o
 	}
+	opts = append(opts, req.devOpts...)
 	st, deduped, err := a.mgr.Submit(Request{
 		Model:       req.Model,
 		Hamiltonian: req.mh,
 		Spec:        req.Method,
 		Options:     opts,
 		Timeout:     time.Duration(req.TimeoutMS) * time.Millisecond,
+		Strings:     req.Strings,
 	})
 	if err != nil {
 		writeAPIErr(w, err)
@@ -465,9 +533,15 @@ func (a *API) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	resp := jobResponse{Status: st}
 	if st.State == StateDone {
 		if res, err := a.mgr.Result(id); err == nil {
-			// Jobs always include the mapping strings: the async flow has
-			// no second endpoint to fetch them from.
-			cr := toResponse(&compileRequest{Model: st.Model, Strings: true, mh: mhOf(res)}, res, st.Elapsed)
+			// Jobs always include the mapping strings (the async flow has
+			// no second endpoint to fetch them from); the routed QASM —
+			// orders of magnitude larger — only when the submission asked
+			// for include_strings.
+			jreq := &compileRequest{Model: st.Model, Strings: true, mh: mhOf(res)}
+			if j, jerr := a.mgr.lookup(id); jerr == nil {
+				jreq.routedQASM = j.req.Strings
+			}
+			cr := toResponse(jreq, res, st.Elapsed)
 			resp.Result = &cr
 		}
 	}
@@ -491,6 +565,10 @@ func (a *API) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleMethods(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"methods": compiler.Methods()})
+}
+
+func (a *API) handleDevices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"devices": arch.Catalog()})
 }
 
 func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {

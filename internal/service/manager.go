@@ -89,6 +89,10 @@ type Request struct {
 	// Timeout bounds the job's compile once it starts running; ≤ 0
 	// means unbounded (until Cancel or Shutdown).
 	Timeout time.Duration
+	// Strings records whether the submission asked for include_strings;
+	// the HTTP layer uses it to decide if job polls embed the routed
+	// circuit's QASM text.
+	Strings bool
 }
 
 // Progress is a point-in-time snapshot of a running job's search.

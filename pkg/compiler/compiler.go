@@ -19,6 +19,7 @@ import (
 	"context"
 	"runtime"
 
+	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/fermion"
@@ -64,6 +65,12 @@ type Options struct {
 	// Store, when non-nil, is consulted before and after every compile:
 	// hits skip the search, misses populate it. See WithStore.
 	Store Store
+	// DeviceName targets a catalog device by spec; Device targets an
+	// explicitly built (custom) one and wins when both are set. Either
+	// makes Compile synthesize and route the Trotter circuit, reporting
+	// hardware metrics in Result.Routed. See WithDevice/WithDeviceSpec.
+	DeviceName string
+	Device     *arch.Device
 }
 
 // Option mutates Options; see the With* constructors.
@@ -191,6 +198,9 @@ type Result struct {
 	Optimal         bool
 	Visited         int64
 	Cached          bool
+	// Routed carries the hardware-mapped circuit and its metrics when a
+	// device was targeted with WithDevice/WithDeviceSpec; nil otherwise.
+	Routed *Routed
 }
 
 // ParseTermOrder parses a term-order spec ("natural", "lex", "greedy")
@@ -218,9 +228,21 @@ func compileWith(ctx context.Context, spec string, mh *fermion.MajoranaHamiltoni
 	if err != nil {
 		return nil, err
 	}
+	// Resolve the target device up front so a bad spec fails before any
+	// search work (and before the store is consulted — the device spec is
+	// part of the content address).
+	dev, err := o.routingDevice()
+	if err != nil {
+		return nil, err
+	}
 	cacheable := o.Store != nil && mh != nil
 	if cacheable {
 		if res, _, ok := storeLookup(spec, mh, o); ok {
+			if dev != nil {
+				if err := attachRouted(res, mh, dev, o); err != nil {
+					return nil, err
+				}
+			}
 			o.emit(ProgressEvent{Method: m.Name(), Stage: StageStart})
 			o.emit(ProgressEvent{Method: m.Name(), Stage: StageDone, BestWeight: res.PredictedWeight})
 			return res, nil
@@ -233,6 +255,11 @@ func compileWith(ctx context.Context, spec string, mh *fermion.MajoranaHamiltoni
 	}
 	if cacheable {
 		storeSave(storeKey(spec, mh, o), res, o)
+	}
+	if dev != nil {
+		if err := attachRouted(res, mh, dev, o); err != nil {
+			return nil, err
+		}
 	}
 	o.emit(ProgressEvent{Method: m.Name(), Stage: StageDone, BestWeight: res.PredictedWeight})
 	return res, nil

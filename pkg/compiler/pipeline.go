@@ -62,6 +62,10 @@ type Report struct {
 	Depth           int
 	VacuumPreserved bool
 
+	// Routed mirrors Result.Routed: the hardware-mapped circuit and its
+	// metrics when the options target a device, nil otherwise.
+	Routed *Routed
+
 	Tapered *TaperReport // nil unless Taper was requested
 	Elapsed time.Duration
 }
@@ -99,8 +103,17 @@ func (p Pipeline) Run(ctx context.Context) (*Report, error) {
 		return nil, fmt.Errorf("compiler: mapping failed verification: %w", err)
 	}
 
-	hq := res.Mapping.Apply(mh)
-	cc := circuit.Optimize(circuit.SynthesizeTrotter(hq, o.TrotterTime, o.TrotterSteps, o.TermOrder))
+	// With a device targeted, compileWith already applied the mapping and
+	// synthesized the logical circuit on the way to routing — reuse those
+	// instead of paying for synthesis twice.
+	var hq *pauli.Hamiltonian
+	var cc *circuit.Circuit
+	if r := res.Routed; r != nil && r.qubitH != nil && r.logical != nil {
+		hq, cc = r.qubitH, r.logical
+	} else {
+		hq = res.Mapping.Apply(mh)
+		cc = circuit.Optimize(circuit.SynthesizeTrotter(hq, o.TrotterTime, o.TrotterSteps, o.TermOrder))
+	}
 	rep := &Report{
 		Model:           name,
 		Modes:           h.Modes,
@@ -115,6 +128,7 @@ func (p Pipeline) Run(ctx context.Context) (*Report, error) {
 		Singles:         cc.SingleCount(),
 		Depth:           cc.Depth(),
 		VacuumPreserved: res.Mapping.VacuumPreserved(),
+		Routed:          res.Routed,
 	}
 
 	if p.Taper {

@@ -38,10 +38,21 @@ func WithStore(s Store) Option { return func(o *Options) { o.Store = s } }
 // count), Progress (an observer), Store itself, and the Pipeline
 // synthesis knobs (TrotterSteps, TrotterTime, TermOrder), which shape the
 // synthesized circuit downstream of the mapping, not the mapping.
+//
+// The target device IS folded in (as ";dev=<spec-or-fingerprint>",
+// omitted when no device is set so pre-existing unrouted entries stay
+// addressable): routed and unrouted compilations of the same problem
+// occupy separate store entries, even though the entry payload is the
+// mapping either way — the routed circuit is re-derived
+// deterministically from it on every hit.
 func (o Options) Digest() string {
-	return fmt.Sprintf("v1;bw=%d;vb=%d;ai=%d;ats=%g;ate=%g;tb=%d;seed=%d;ar=%d",
+	d := fmt.Sprintf("v1;bw=%d;vb=%d;ai=%d;ats=%g;ate=%g;tb=%d;seed=%d;ar=%d",
 		o.BeamWidth, o.VisitBudget, o.AnnealIters, o.AnnealTStart, o.AnnealTEnd,
 		o.TieBreak, o.Seed, o.AnnealRestarts)
+	if dev := o.deviceDigest(); dev != "" {
+		d += ";dev=" + dev
+	}
+	return d
 }
 
 // storeKey assembles the content address of one compilation.
