@@ -1,0 +1,74 @@
+// Command hattlint is the repository's multichecker: it runs the five
+// invariant-enforcing analysis passes (noalloc, detrand, ctxflow,
+// locksafe, apierr) plus the lint-ignore hygiene check over the named
+// packages and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/hattlint ./...
+//	go run ./cmd/hattlint -list            # describe the passes
+//	go run ./cmd/hattlint ./internal/...   # subset of the tree
+//
+// Findings print one per line as file:line:col: [pass] message. A
+// finding is suppressed by a trailing or directly-preceding comment
+// //hatt:lint-ignore <pass> <reason> — the reason is mandatory and
+// unexplained or stale directives are findings themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis/apierr"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/locksafe"
+	"repro/internal/analysis/noalloc"
+)
+
+// analyzers is the hattlint suite, in documentation order.
+var analyzers = []*framework.Analyzer{
+	noalloc.Analyzer,
+	detrand.Analyzer,
+	ctxflow.Analyzer,
+	locksafe.Analyzer,
+	apierr.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "describe the passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hattlint [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hattlint:", err)
+		os.Exit(2)
+	}
+	findings, err := framework.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hattlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "hattlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

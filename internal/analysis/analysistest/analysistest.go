@@ -1,0 +1,142 @@
+// Package analysistest runs one analyzer over a testdata package and
+// compares its findings against expectations embedded in the source as
+//
+//	code() // want "regexp" "another regexp"
+//
+// comments: each finding on a line must be matched, in order, by the
+// want regexps on that line, and every want must be consumed. It is the
+// stdlib-only counterpart of golang.org/x/tools/go/analysis/analysistest,
+// driving the same runner hattlint uses — so suppression directives and
+// the "lintignore" hygiene findings behave in tests exactly as in CI.
+package analysistest
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// want is one expectation: a regexp anchored to a file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	src  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts the want expectations from every .go file in dir.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var wants []*want
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, pat := range splitQuoted(t, name, line, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", name, line, pat, err)
+					}
+					wants = append(wants, &want{file: name, line: line, re: re, src: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of Go-quoted strings.
+func splitQuoted(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s:%d: want expectation must be quoted regexps, got %q", file, line, s)
+		}
+		quote := s[0]
+		end := 1
+		for end < len(s) {
+			if s[end] == quote && (quote == '`' || s[end-1] != '\\') {
+				break
+			}
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s:%d: unterminated want string in %q", file, line, s)
+		}
+		lit := s[:end+1]
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: cannot unquote %s: %v", file, line, lit, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+// Run loads the package in dir, applies the analyzer through the shared
+// runner, and reports any mismatch between findings and want comments.
+func Run(t *testing.T, a *framework.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := framework.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	wants := parseWants(t, dir)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.src)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package annotations gives runtime tests access to the same
+// //hatt:noalloc contract the noalloc static pass enforces. An
+// allocation-gate test (testing.AllocsPerRun) asserts the dynamic half
+// of the contract; NoAllocFuncs lets such a test derive *which*
+// functions are under contract from the annotations themselves instead
+// of a hand-maintained list, and RaceEnabled tells it when the race
+// runtime makes allocation counts meaningless.
+package annotations
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Directive is the doc-comment marker for allocation-free functions,
+// shared with the noalloc analyzer.
+const Directive = "//hatt:noalloc"
+
+// NoAllocFuncs parses the Go package rooted at dir (tests excluded) and
+// returns the names of functions annotated //hatt:noalloc, sorted.
+// Methods are reported as "Recv.Name" ("Hamiltonian.Add"), plain
+// functions as "Name".
+func NoAllocFuncs(dir string) ([]string, error) {
+	pattern := filepath.Join(dir, "*.go")
+	names, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []string
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc) {
+				continue
+			}
+			out = append(out, funcName(fd))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return fd.Name.Name
+	}
+	return recvTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(x.X)
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		return recvTypeName(x.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(x.X)
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package annotations
+
+// RaceEnabled reports whether the binary was built with -race. The race
+// runtime instruments every memory access and allocates shadow state,
+// so allocation-gate tests over //hatt:noalloc functions must skip.
+const RaceEnabled = true

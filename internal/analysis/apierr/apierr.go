@@ -1,0 +1,112 @@
+// Package apierr holds the service boundary to its error contract:
+// malformed or absurd input is always a structured 4xx, never a 500.
+//
+//  1. No 5xx status may be constructed in internal/service — as a call
+//     argument (writeErr, http.Error, WriteHeader) or a struct field
+//     value — outside the panic safety net. A function whose body (or
+//     enclosing function literal) calls recover() IS the safety net and
+//     is exempt; everything else must express failures as 4xx or return
+//     an error for the net to classify.
+//  2. fmt.Errorf with an error argument must wrap it with %w so
+//     errors.Is/As keep seeing sentinel and typed errors through the
+//     service's classification switch.
+package apierr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the apierr pass.
+var Analyzer = &framework.Analyzer{
+	Name:  "apierr",
+	Doc:   "no 5xx construction outside the panic safety net; wrap errors with %w",
+	Scope: []string{"repro/internal/service"},
+	Run:   run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		// stack mirrors the Inspect traversal (one push per node, one pop
+		// per post-order nil) so check5xx can find the enclosing function
+		// nodes and excuse a 5xx whose function contains recover().
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, x)
+				for _, arg := range x.Args {
+					check5xx(pass, arg, stack)
+				}
+			case *ast.KeyValueExpr:
+				check5xx(pass, x.Value, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// check5xx flags expr when it is a constant HTTP 5xx status outside a
+// recover()-bearing function.
+func check5xx(pass *framework.Pass, expr ast.Expr, stack []ast.Node) {
+	v, ok := pass.ConstInt(expr)
+	if !ok || v < 500 || v > 599 {
+		return
+	}
+	// Only integer-typed constants: a 5xx-valued float or duration is
+	// not a status code.
+	if t := pass.TypeOf(expr); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+			return
+		}
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if pass.ContainsRecover(stack[i]) {
+				return // inside the panic safety net
+			}
+		}
+	}
+	pass.Reportf(expr.Pos(), "5xx status %d constructed outside the panic safety net; the handler contract is structured 4xx or an error for recoverJSON", v)
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error argument
+// without %w.
+func checkErrorf(pass *framework.Pass, call *ast.CallExpr) {
+	if !pass.IsPkgCall(call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := pass.ConstString(call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(pass.TypeOf(arg)) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w; wrapped errors must stay visible to errors.Is/As")
+			return
+		}
+	}
+}
+
+// isErrorType reports whether t is the error interface or a concrete
+// type implementing it.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if types.Identical(t, errType) {
+		return true
+	}
+	return types.Implements(t, errType.Underlying().(*types.Interface))
+}

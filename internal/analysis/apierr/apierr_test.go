@@ -1,0 +1,13 @@
+package apierr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/apierr"
+)
+
+func TestApierr(t *testing.T) {
+	analysistest.Run(t, apierr.Analyzer, filepath.Join("testdata", "a"))
+}

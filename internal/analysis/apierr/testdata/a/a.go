@@ -1,0 +1,62 @@
+// Package a is the apierr analysistest fixture.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+var errBoom = errors.New("boom")
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	fmt.Fprintln(w, msg)
+}
+
+func Handler(w http.ResponseWriter) {
+	writeErr(w, http.StatusBadRequest, "bad input")
+	writeErr(w, http.StatusInternalServerError, "oops") // want `5xx status 500 constructed outside the panic safety net`
+	writeErr(w, 503, "busy")                            // want `5xx status 503 constructed outside the panic safety net`
+	w.WriteHeader(http.StatusBadGateway)                // want `5xx status 502 constructed outside the panic safety net`
+}
+
+type apiError struct {
+	code int
+	msg  string
+}
+
+func Build() apiError {
+	return apiError{code: 502, msg: "bad gateway"} // want `5xx status 502 constructed outside the panic safety net`
+}
+
+func BuildOK() apiError {
+	return apiError{code: 422, msg: "unprocessable"}
+}
+
+// Recovered is the panic safety net: a recover()-bearing function may
+// turn a panic into a 500.
+func Recovered(w http.ResponseWriter) {
+	defer func() {
+		if recover() != nil {
+			writeErr(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	panic("kaboom")
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("compile: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+func WrapSentinel() error {
+	return fmt.Errorf("state: %s", errBoom) // want `fmt.Errorf formats an error without %w`
+}
+
+func Wrapped(err error) error {
+	return fmt.Errorf("compile: %w", err)
+}
+
+func NoErrArg(n int) error {
+	return fmt.Errorf("bad count: %d", n)
+}

@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, filepath.Join("testdata", "a"))
+}

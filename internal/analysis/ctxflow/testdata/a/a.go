@@ -1,0 +1,90 @@
+// Package a is the ctxflow analysistest fixture.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func Detach() context.Context {
+	_ = context.Background() // want `context.Background\(\) detaches library code`
+	return context.TODO()    // want `context.TODO\(\) detaches library code`
+}
+
+// Rebase derives a detached-but-traceable context: the accepted idiom
+// for work that must outlive its request.
+func Rebase(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
+func Sleepy(d time.Duration) { // want `exported Sleepy blocks \(time.Sleep\) but takes no context.Context`
+	time.Sleep(d)
+}
+
+func Recv(ch chan int) int { // want `exported Recv blocks \(channel receive\) but takes no context.Context`
+	return <-ch
+}
+
+func Push(ch chan int, v int) { // want `exported Push blocks \(channel send\) but takes no context.Context`
+	ch <- v
+}
+
+func Drain(ch chan int) int { // want `exported Drain blocks \(range over channel\) but takes no context.Context`
+	n := 0
+	for range ch {
+		n++
+	}
+	return n
+}
+
+func WaitAll(wg *sync.WaitGroup) { // want `exported WaitAll blocks \(sync WaitGroup.Wait\) but takes no context.Context`
+	wg.Wait()
+}
+
+func Gather(ch chan int) int { // want `exported Gather blocks \(select without default\) but takes no context.Context`
+	select {
+	case v := <-ch:
+		return v
+	}
+}
+
+// WithCtx blocks but accepts a context: the caller can bound it.
+func WithCtx(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// Poll never blocks: its select has a default clause.
+func Poll(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// unexported helpers are internal plumbing, not API surface.
+func unexported(ch chan int) int {
+	return <-ch
+}
+
+type worker struct{ ch chan int }
+
+// Run is exported, but its receiver type is not: not public API.
+func (w *worker) Run() int {
+	return <-w.ch
+}
+
+// Spawn only blocks inside a goroutine it launches; the call itself
+// returns immediately.
+func Spawn(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}

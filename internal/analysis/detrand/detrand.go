@@ -1,0 +1,249 @@
+// Package detrand enforces the engine's determinism guarantee — same
+// seed ⇒ byte-identical mapping at any worker count — as a lint rule
+// over the packages that guarantee it (internal/core, internal/mapping,
+// pkg/compiler). Three families of diagnostics:
+//
+//  1. Map-range iteration whose body feeds ordered output: appending to
+//     a slice that is never sorted afterwards in the same function,
+//     sending on a channel, writing to a writer, or concatenating a
+//     string. Iterating a map to fill another map, count, or reduce
+//     commutatively is fine and not flagged.
+//  2. Unseeded math/rand: package-level rand.Intn/Float64/… draw from
+//     the process-global source; deterministic code must thread a
+//     rand.New(rand.NewSource(seed)).
+//  3. Ambient state reachable from digest/key construction: any
+//     function reachable (same-package static call graph) from a
+//     Digest/deviceDigest/storeKey/fingerprint root must not call
+//     time.Now or os.Getenv, and must not range over a map at all —
+//     store keys and option digests must be pure functions of their
+//     inputs.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc:  "flag nondeterminism sources (map order, global rand, ambient state) in determinism-critical packages",
+	Scope: []string{
+		"repro/internal/core",
+		"repro/internal/mapping",
+		"repro/pkg/compiler",
+	},
+	Run: run,
+}
+
+// digestRoots are the function names treated as digest/key entry
+// points; everything they reach must be deterministic.
+var digestRoots = map[string]bool{
+	"Digest":       true,
+	"deviceDigest": true,
+	"storeKey":     true,
+	"Fingerprint":  true,
+	"fingerprint":  true,
+}
+
+// seededConstructors are the math/rand functions that build explicit
+// sources rather than drawing from the global one.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *framework.Pass) error {
+	reach := digestReachable(pass)
+	framework.EnclosingFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		inDigest := false
+		if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+			inDigest = reach[obj]
+		}
+		checkFunc(pass, fd, inDigest)
+	})
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, inDigest bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if !pass.IsMapType(x.X) {
+				return true
+			}
+			if inDigest {
+				pass.Reportf(x.Pos(), "map iteration order reaches digest/key construction via %s; iterate sorted keys", fd.Name.Name)
+				return true
+			}
+			checkMapRange(pass, fd, x)
+		case *ast.CallExpr:
+			checkCall(pass, x, fd.Name.Name, inDigest)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr, fn string, inDigest bool) {
+	f := pass.CalleeFunc(call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	// Package-level math/rand draws (no receiver) use the global,
+	// process-seeded source.
+	switch f.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		sig, _ := f.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil && !seededConstructors[f.Name()] {
+			pass.Reportf(call.Pos(), "global math/rand.%s is process-seeded; thread a rand.New(rand.NewSource(seed))", f.Name())
+		}
+	case "time":
+		if inDigest && f.Name() == "Now" {
+			pass.Reportf(call.Pos(), "time.Now in digest/key path %s makes the content address unstable", fn)
+		}
+	case "os":
+		if inDigest && f.Name() == "Getenv" {
+			pass.Reportf(call.Pos(), "os.Getenv in digest/key path %s makes the content address environment-dependent", fn)
+		}
+	}
+}
+
+// checkMapRange flags a map range whose body feeds ordered output.
+func checkMapRange(pass *framework.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	// Slice variables appended to inside the loop; ordered unless the
+	// function later sorts them.
+	appended := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(x.Pos(), "channel send inside map range leaks iteration order in %s", fd.Name.Name)
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !pass.IsBuiltinCall(call, "append") || i >= len(x.Lhs) {
+					continue
+				}
+				if obj := rootObject(pass, x.Lhs[i]); obj != nil {
+					appended[obj] = true
+				}
+			}
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && pass.IsString(x.Lhs[0]) {
+				pass.Reportf(x.Pos(), "string concatenation inside map range leaks iteration order in %s", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			if pass.IsPkgCall(x, "fmt", "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println") {
+				pass.Reportf(x.Pos(), "write inside map range leaks iteration order in %s", fd.Name.Name)
+				return true
+			}
+			if f := pass.CalleeFunc(x); f != nil {
+				sig, _ := f.Type().(*types.Signature)
+				if sig != nil && sig.Recv() != nil &&
+					(f.Name() == "Write" || f.Name() == "WriteString" || f.Name() == "WriteByte" || f.Name() == "WriteRune") {
+					pass.Reportf(x.Pos(), "write inside map range leaks iteration order in %s", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+	if len(appended) == 0 {
+		return
+	}
+	// Absolve slices the function sorts after the loop.
+	for obj := range appended {
+		if sortedAfter(pass, fd, rng, obj) {
+			delete(appended, obj)
+		}
+	}
+	for obj := range appended {
+		pass.Reportf(rng.Pos(), "map range appends to %s without sorting it; iteration order leaks into the result in %s", obj.Name(), fd.Name.Name)
+	}
+}
+
+// rootObject resolves the base variable of an lvalue (x, x.f, x[i]).
+func rootObject(pass *framework.Pass, expr ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[x]
+		case *ast.SelectorExpr:
+			return pass.Info.Uses[x.Sel]
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort*
+// call after the range statement within the same function.
+func sortedAfter(pass *framework.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		if !pass.IsPkgCall(call, "sort") && !pass.IsPkgCall(call, "slices") {
+			return true
+		}
+		if rootObject(pass, call.Args[0]) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// digestReachable computes the same-package functions reachable from
+// the digest roots through static calls.
+func digestReachable(pass *framework.Pass) map[*types.Func]bool {
+	// Static call edges between functions declared in this package.
+	edges := map[*types.Func][]*types.Func{}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	framework.EnclosingFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		caller, ok := pass.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		decls[caller] = fd
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := pass.CalleeFunc(call)
+			if callee != nil && callee.Pkg() == pass.Pkg {
+				edges[caller] = append(edges[caller], callee)
+			}
+			return true
+		})
+	})
+	reach := map[*types.Func]bool{}
+	var queue []*types.Func
+	for fn := range decls {
+		if digestRoots[fn.Name()] {
+			reach[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range edges[fn] {
+			if !reach[callee] {
+				reach[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,95 @@
+// Package a is the detrand analysistest fixture.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Digest is a digest root: its whole static call closure must be a pure
+// function of its inputs.
+func Digest(m map[string]int) string {
+	for k := range m { // want `map iteration order reaches digest/key construction via Digest`
+		_ = k
+	}
+	helper()
+	_ = time.Now()        // want `time.Now in digest/key path Digest`
+	_ = os.Getenv("HOME") // want `os.Getenv in digest/key path Digest`
+	return ""
+}
+
+// helper is reached from Digest, so its map range is flagged too.
+func helper() {
+	for range map[int]int{1: 1} { // want `map iteration order reaches digest/key construction via helper`
+	}
+}
+
+// Keys leaks map order into a slice it never sorts.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map range appends to out without sorting it`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the blessed idiom: append then sort.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Print(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `write inside map range leaks iteration order`
+	}
+}
+
+func Send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map range leaks iteration order`
+	}
+}
+
+func Concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation inside map range leaks iteration order`
+	}
+	return s
+}
+
+// Count reduces commutatively; map order cannot be observed.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Invert fills another map; order cannot be observed either.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func Roll() int {
+	return rand.Intn(6) // want `global math/rand.Intn is process-seeded`
+}
+
+// Seeded threads an explicit source: deterministic for a fixed seed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

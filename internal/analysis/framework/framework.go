@@ -1,0 +1,242 @@
+// Package framework is a deliberately small, stdlib-only counterpart of
+// golang.org/x/tools/go/analysis: an Analyzer is a named check over one
+// type-checked package, a Pass is the per-package invocation, and Run
+// drives a set of analyzers over loaded packages with uniform handling
+// of the repository's suppression directive.
+//
+// The x/tools module is not vendored here (the repo is stdlib-only by
+// policy), so this package reimplements the thin slice the hattlint
+// passes need: syntax + full type information per package, positional
+// diagnostics, and deterministic ordering. It does not implement facts,
+// result dependencies between analyzers, or suggested fixes.
+//
+// # Suppression directive
+//
+// A finding is suppressed by a comment of the form
+//
+//	//hatt:lint-ignore <pass> <reason...>
+//
+// placed on the offending line or on the line directly above it. The
+// reason is mandatory: a directive without one — or naming no pass —
+// is itself reported (analyzer name "lintignore"), so every silenced
+// diagnostic carries its justification in the tree. Directives naming
+// a pass that is not part of the run are reported as stale.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePrefix is the import-path prefix of this repository's own
+// packages. Analyzers scope themselves to module packages; packages
+// outside the prefix (in practice: analysistest fixtures, which have
+// single-segment paths) are always in scope so testdata exercises every
+// rule without faking module paths.
+const ModulePrefix = "repro/"
+
+// IgnoreDirective is the comment prefix that suppresses one finding.
+const IgnoreDirective = "//hatt:lint-ignore"
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the pass in output and in lint-ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the pass enforces.
+	Doc string
+	// Scope lists the module package paths the pass applies to. Empty
+	// means every package. Non-module packages (testdata) always pass.
+	Scope []string
+	// Run reports findings for one package through pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: position made concrete, analyzer
+// name attached, suppression already applied.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// inScope reports whether an analyzer applies to a package path.
+func (a *Analyzer) inScope(path string) bool {
+	if len(a.Scope) == 0 || !strings.HasPrefix(path, ModulePrefix) && path != strings.TrimSuffix(ModulePrefix, "/") {
+		return true
+	}
+	for _, s := range a.Scope {
+		if path == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ignore is one parsed suppression directive.
+type ignore struct {
+	pass   string
+	reason string
+	pos    token.Pos
+	line   int
+	file   string
+	used   bool
+	broken bool // malformed: missing pass or reason
+}
+
+// parseIgnores extracts every lint-ignore directive from a file.
+func parseIgnores(fset *token.FileSet, f *ast.File) []*ignore {
+	var out []*ignore
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, IgnoreDirective) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, IgnoreDirective)
+			pos := fset.Position(c.Pos())
+			ig := &ignore{pos: c.Pos(), line: pos.Line, file: pos.Filename}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 || len(fields) < 2 {
+				ig.broken = true
+			} else {
+				ig.pass = fields[0]
+				ig.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, ig)
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over every package, applies suppression
+// directives, checks directive hygiene, and returns all surviving
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var ignores []*ignore
+		for _, f := range pkg.Files {
+			ignores = append(ignores, parseIgnores(pkg.Fset, f)...)
+		}
+		suppressed := func(name string, pos token.Position) bool {
+			for _, ig := range ignores {
+				if ig.broken || ig.pass != name || ig.file != pos.Filename {
+					continue
+				}
+				// A directive covers its own line (trailing comment) and
+				// the line directly below (standalone comment above).
+				if pos.Line == ig.line || pos.Line == ig.line+1 {
+					ig.used = true
+					return true
+				}
+			}
+			return false
+		}
+		for _, a := range analyzers {
+			if !a.inScope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		// Directive hygiene: malformed or stale directives are findings in
+		// their own right — an unexplained or dangling ignore must not rot
+		// silently in the tree.
+		for _, ig := range ignores {
+			pos := pkg.Fset.Position(ig.pos)
+			switch {
+			case ig.broken:
+				findings = append(findings, Finding{
+					Analyzer: "lintignore", Pos: pos,
+					Message: "lint-ignore needs a pass name and a reason: //hatt:lint-ignore <pass> <reason>",
+				})
+			case !known[ig.pass]:
+				findings = append(findings, Finding{
+					Analyzer: "lintignore", Pos: pos,
+					Message: fmt.Sprintf("lint-ignore names unknown pass %q", ig.pass),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// HasDirective reports whether a doc comment group contains the given
+// directive (e.g. "hatt:noalloc"), written as its own "//"-comment line
+// with no space after the slashes, per Go directive convention.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dummy flags every make call, giving the suppression machinery
+// something deterministic to chew on.
+var dummy = &Analyzer{
+	Name: "dummy",
+	Doc:  "flag every make call",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && pass.IsBuiltinCall(call, "make") {
+					pass.Reportf(call.Pos(), "make call")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestSuppressionAndHygiene(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "ignores"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run([]*Package{pkg}, []*Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type exp struct {
+		analyzer string
+		line     int
+		contains string
+	}
+	want := []exp{
+		// alloc1's make is suppressed by a well-formed directive.
+		{"lintignore", 9, "needs a pass name and a reason"},
+		{"dummy", 10, "make call"}, // broken directives suppress nothing
+		{"dummy", 14, "make call"}, // wrong-pass directives suppress nothing
+		{"lintignore", 14, `unknown pass "nosuchpass"`},
+		{"dummy", 20, "make call"}, // directive two lines up is out of range
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(want), findings)
+	}
+	for i, w := range want {
+		f := findings[i]
+		if f.Analyzer != w.analyzer || f.Pos.Line != w.line || !strings.Contains(f.Message, w.contains) {
+			t.Errorf("finding %d = %s; want [%s] line %d containing %q", i, f, w.analyzer, w.line, w.contains)
+		}
+	}
+}
+
+func TestInScope(t *testing.T) {
+	scoped := &Analyzer{Scope: []string{"repro/internal/core"}}
+	for path, want := range map[string]bool{
+		"repro/internal/core": true,  // listed
+		"repro/internal/sim":  false, // module package not listed
+		"a":                   true,  // testdata fixtures always pass
+	} {
+		if got := scoped.inScope(path); got != want {
+			t.Errorf("inScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+	open := &Analyzer{}
+	if !open.inScope("repro/internal/sim") {
+		t.Error("empty scope must match every package")
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	src := `package p
+
+//hatt:noalloc
+func a() {}
+
+// hatt:noalloc (spaced: a comment about the directive, not one)
+func b() {}
+
+func c() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"a": true, "b": false, "c": false}
+	for _, decl := range f.Decls {
+		fd := decl.(*ast.FuncDecl)
+		if got := HasDirective(fd.Doc, "hatt:noalloc"); got != want[fd.Name.Name] {
+			t.Errorf("HasDirective(%s) = %v, want %v", fd.Name.Name, got, want[fd.Name.Name])
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit a Pass sees.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir and decodes the
+// JSON stream. The -export flag makes the go tool materialize compiled
+// export data for every listed package in the build cache, which is
+// what lets the loader type-check against dependencies without x/tools:
+// imports resolve through gc export data exactly as the compiler would.
+func goList(dir string, patterns ...string) ([]listEntry, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportImporter builds a types.Importer that resolves every import
+// through the export-data files `go list -export` reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// newInfo allocates the types.Info maps the passes rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load lists, parses, and type-checks the packages matching patterns,
+// rooted at dir (any directory inside the module). Only the matched
+// packages are returned; their dependencies — module-internal and
+// stdlib alike — are consumed as export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	exports := make(map[string]string, len(entries))
+	var targets []listEntry
+	for _, e := range entries {
+		if e.Error != nil && !e.DepOnly {
+			return nil, fmt.Errorf("%s: %s", e.ImportPath, e.Error.Err)
+		}
+		exports[e.ImportPath] = e.Export
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, e := range targets {
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, f)
+		}
+		pkg, err := typecheck(fset, e.ImportPath, e.Dir, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir
+// without consulting the module graph — the analysistest path, since
+// testdata directories are invisible to the go tool. Imports must
+// resolve outside dir (stdlib or module packages); their export data is
+// listed on demand.
+func LoadDir(dir string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	importSet := map[string]bool{}
+	var parsed []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+		for _, im := range f.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			importSet[p] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		paths := make([]string, 0, len(importSet))
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		entries, err := goList(dir, paths...)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.Error != nil {
+				return nil, fmt.Errorf("%s: %s", e.ImportPath, e.Error.Err)
+			}
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	pkgName := parsed[0].Name.Name
+	return typecheckParsed(fset, pkgName, dir, parsed, exportImporter(fset, exports))
+}
+
+// typecheck parses the named files and type-checks them as one package.
+func typecheck(fset *token.FileSet, path, dir string, filenames []string, imp types.Importer) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return typecheckParsed(fset, path, dir, parsed, imp)
+}
+
+func typecheckParsed(fset *token.FileSet, path, dir string, parsed []*ast.File, imp types.Importer) (*Package, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,21 @@
+// Package a exercises lint-ignore parsing, suppression, and hygiene.
+package a
+
+func alloc1() []int {
+	return make([]int, 1) //hatt:lint-ignore dummy cold path, measured
+}
+
+func alloc2() []int {
+	//hatt:lint-ignore
+	return make([]int, 2)
+}
+
+func alloc3() []int {
+	return make([]int, 3) //hatt:lint-ignore nosuchpass retired analyzer
+}
+
+func alloc4() []int {
+	//hatt:lint-ignore dummy covers the very next line only
+	_ = len("")
+	return make([]int, 4)
+}

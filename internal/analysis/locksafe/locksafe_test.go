@@ -1,0 +1,13 @@
+package locksafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, locksafe.Analyzer, filepath.Join("testdata", "a"))
+}

@@ -1,0 +1,193 @@
+// Package noalloc enforces the repository's zero-allocation contract at
+// compile time: a function whose doc comment carries the
+//
+//	//hatt:noalloc
+//
+// directive must not contain allocating constructs. The runtime
+// testing.AllocsPerRun gates remain the ground truth for what actually
+// allocates; this pass catches the textual regressions — a careless
+// append, a closure, an fmt call — the moment they are written, instead
+// of one flaky CI run later.
+//
+// Flagged inside an annotated function:
+//   - append (may grow the backing array)
+//   - make, new
+//   - map, slice, and &composite literals
+//   - function literals that capture local variables (closure escapes)
+//   - string concatenation (+ / +=) and string ⇄ []byte/[]rune conversions
+//   - conversions of non-interface values to interface types (boxing)
+//   - calls into fmt and strings.Builder methods
+//   - go statements (a goroutine allocates its closure and stack)
+//
+// Arguments of panic(...) are exempt: a panicking error path may build
+// its message. Plain calls are NOT traced interprocedurally — deliberate
+// cold-path allocation belongs behind a constructor call or an explicit
+// //hatt:lint-ignore noalloc <reason> directive.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Directive is the annotation marking a function allocation-free.
+const Directive = "hatt:noalloc"
+
+// Analyzer is the noalloc pass. It has no package scope: the annotation
+// itself opts a function in, wherever it lives.
+var Analyzer = &framework.Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocating constructs inside //hatt:noalloc functions",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	framework.EnclosingFuncs(pass.Files, func(fd *ast.FuncDecl) {
+		if framework.HasDirective(fd.Doc, Directive) {
+			checkFunc(pass, fd)
+		}
+	})
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// A panic's arguments are the error path; building the message
+			// there is fine.
+			if pass.IsBuiltinCall(x, "panic") {
+				return false
+			}
+			checkCall(pass, name, x)
+		case *ast.CompositeLit:
+			t := pass.TypeOf(x)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(x.Pos(), "map literal allocates in //%s function %s", Directive, name)
+			case *types.Slice:
+				pass.Reportf(x.Pos(), "slice literal allocates in //%s function %s", Directive, name)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "&composite literal escapes to the heap in //%s function %s", Directive, name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && pass.IsString(x.X) {
+				pass.Reportf(x.Pos(), "string concatenation allocates in //%s function %s", Directive, name)
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && pass.IsString(x.Lhs[0]) {
+				pass.Reportf(x.Pos(), "string += allocates in //%s function %s", Directive, name)
+			}
+		case *ast.FuncLit:
+			if id := capturedVar(pass, x); id != nil {
+				pass.Reportf(x.Pos(), "closure captures %s in //%s function %s", id.Name, Directive, name)
+			}
+			return false // a nested literal's body is its own scope
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "go statement allocates a goroutine in //%s function %s", Directive, name)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+func checkCall(pass *framework.Pass, name string, call *ast.CallExpr) {
+	switch {
+	case pass.IsBuiltinCall(call, "append"):
+		pass.Reportf(call.Pos(), "append may grow its backing array in //%s function %s", Directive, name)
+	case pass.IsBuiltinCall(call, "make"):
+		pass.Reportf(call.Pos(), "make allocates in //%s function %s", Directive, name)
+	case pass.IsBuiltinCall(call, "new"):
+		pass.Reportf(call.Pos(), "new allocates in //%s function %s", Directive, name)
+	case pass.IsPkgCall(call, "fmt"):
+		pass.Reportf(call.Pos(), "fmt call allocates in //%s function %s", Directive, name)
+	default:
+		if f := pass.CalleeFunc(call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "strings" {
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil &&
+				framework.NamedIn(sig.Recv().Type(), "strings", "Builder") {
+				pass.Reportf(call.Pos(), "strings.Builder call allocates in //%s function %s", Directive, name)
+				return
+			}
+		}
+		checkConversion(pass, name, call)
+	}
+}
+
+func checkConversion(pass *framework.Pass, name string, call *ast.CallExpr) {
+	target, ok := pass.IsConversion(call)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	src := pass.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if types.IsInterface(target.Underlying()) && !types.IsInterface(src.Underlying()) {
+		if b, isBasic := src.Underlying().(*types.Basic); !isBasic || b.Kind() != types.UntypedNil {
+			pass.Reportf(call.Pos(), "conversion to interface boxes the value in //%s function %s", Directive, name)
+		}
+		return
+	}
+	srcStr := isStringy(src)
+	dstStr := isStringy(target)
+	srcBytes := isByteOrRuneSlice(src)
+	dstBytes := isByteOrRuneSlice(target)
+	if (srcStr && dstBytes) || (srcBytes && dstStr) {
+		pass.Reportf(call.Pos(), "string/slice conversion copies in //%s function %s", Directive, name)
+	}
+}
+
+func isStringy(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// capturedVar returns an identifier inside the function literal that
+// refers to a local variable declared outside it (forcing a heap
+// closure), or nil when the literal captures nothing.
+func capturedVar(pass *framework.Pass, fl *ast.FuncLit) *ast.Ident {
+	var bad *ast.Ident
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are accessed directly, not captured.
+		if v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() < fl.Pos() || v.Pos() > fl.End() {
+			bad = id
+		}
+		return true
+	})
+	return bad
+}

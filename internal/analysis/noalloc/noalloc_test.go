@@ -1,0 +1,13 @@
+package noalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, filepath.Join("testdata", "a"))
+}

@@ -1,0 +1,73 @@
+// Package a is the noalloc analysistest fixture.
+package a
+
+import (
+	"fmt"
+	"strings"
+)
+
+type point struct{ x, y int }
+
+var global int
+
+//hatt:noalloc
+func bad(xs []int, s string, b []byte, sb *strings.Builder) {
+	xs = append(xs, 1)   // want `append may grow its backing array`
+	_ = make([]int, 4)   // want `make allocates`
+	_ = new(int)         // want `new allocates`
+	_ = map[string]int{} // want `map literal allocates`
+	_ = []int{1, 2}      // want `slice literal allocates`
+	_ = &point{1, 2}     // want `&composite literal escapes to the heap`
+	_ = s + "x"          // want `string concatenation allocates`
+	s += "y"             // want `string \+= allocates`
+	fmt.Println(s)       // want `fmt call allocates`
+	_ = string(b)        // want `string/slice conversion copies`
+	_ = []byte(s)        // want `string/slice conversion copies`
+	_ = any(global)      // want `conversion to interface boxes the value`
+	sb.WriteString(s)    // want `strings.Builder call allocates`
+	go nop()             // want `go statement allocates a goroutine`
+	_ = xs
+}
+
+//hatt:noalloc
+func capturing(n int) func() int {
+	return func() int { return n } // want `closure captures n`
+}
+
+//hatt:noalloc
+func good(xs []int, s string) int {
+	// Safe constructs: indexing, arithmetic, non-capturing literals,
+	// package-level variable access, plain calls, panic messages.
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	f := func(v int) int { return v * 2 }
+	total = f(total)
+	g := func() int { return global }
+	total += g()
+	if s == "" {
+		panic(fmt.Sprintf("empty input %d", total))
+	}
+	nop()
+	return total
+}
+
+// unannotated allocates freely: the directive opts a function in.
+func unannotated(s string) string {
+	m := map[string]int{"k": 1}
+	return fmt.Sprint(s, m)
+}
+
+//hatt:noalloc
+func coldPath(xs []int) []int {
+	if cap(xs) == 0 {
+		xs = make([]int, 0, 8) //hatt:lint-ignore noalloc deliberate cold-path growth before the warm loop
+	}
+	//hatt:lint-ignore noalloc spill map allocated once per collision
+	spill := map[string]int{}
+	_ = spill
+	return xs
+}
+
+func nop() {}

@@ -27,6 +27,19 @@ type KernelRecord struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
+// KernelNoAlloc names, for each kernel whose fast path must beat the
+// baseline's allocation count, the //hatt:noalloc-annotated function it
+// exercises, as "import/path:Recv.Name". The allocation-gate test
+// derives its kernel list from this map and verifies each named
+// function really carries the annotation, so the static noalloc pass,
+// the runtime gate, and this table can never drift apart silently.
+var KernelNoAlloc = map[string]string{
+	"apply_pauli_14q":      "repro/internal/sim:State.ApplyPauli",
+	"expectation_12q_40t":  "repro/internal/sim:State.Expectation",
+	"mul_majorana_14q":     "repro/internal/pauli:String.MulInto",
+	"hamiltonian_add_warm": "repro/internal/pauli:Hamiltonian.Add",
+}
+
 // measureKernel times f over iters runs on a quiesced heap and reports
 // per-op wall time and allocation counts. It is deliberately lighter than
 // testing.Benchmark (fixed iteration counts, one GC) so the whole kernel

@@ -1,20 +1,55 @@
 package bench
 
 import (
+	"path/filepath"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 
-	"repro/internal/raceflag"
+	"repro/internal/analysis/annotations"
 )
 
+// allocGatedKernels returns the kernels whose fast path is under the
+// //hatt:noalloc contract, derived from KernelNoAlloc rather than a
+// hand-maintained list, after verifying that every function the table
+// names really carries the annotation in its package's source.
+func allocGatedKernels(t *testing.T) []string {
+	t.Helper()
+	var kernels []string
+	for kernel, ref := range KernelNoAlloc {
+		pkgPath, fn, ok := strings.Cut(ref, ":")
+		if !ok {
+			t.Fatalf("KernelNoAlloc[%q] = %q: want \"import/path:Recv.Name\"", kernel, ref)
+		}
+		rel, ok := strings.CutPrefix(pkgPath, "repro/")
+		if !ok {
+			t.Fatalf("KernelNoAlloc[%q] names non-module package %q", kernel, pkgPath)
+		}
+		dir := filepath.Join("..", "..", filepath.FromSlash(rel))
+		annotated, err := annotations.NoAllocFuncs(dir)
+		if err != nil {
+			t.Fatalf("scanning %s: %v", dir, err)
+		}
+		if !slices.Contains(annotated, fn) {
+			t.Fatalf("KernelNoAlloc[%q] names %s:%s, which is not annotated %s (found: %v)",
+				kernel, pkgPath, fn, annotations.Directive, annotated)
+		}
+		kernels = append(kernels, kernel)
+	}
+	sort.Strings(kernels)
+	return kernels
+}
+
 // TestKernelSuiteBeforeAfter pins the PR's acceptance bar: every kernel is
-// measured as a baseline/fast pair, the simulator kernels drop to at least
-// 5× fewer allocations per op, and the pruned BuildUnopt beats the
+// measured as a baseline/fast pair, the annotation-gated kernels drop to at
+// least 5× fewer allocations per op, and the pruned BuildUnopt beats the
 // exhaustive scan on the largest bundled molecule.
 func TestKernelSuiteBeforeAfter(t *testing.T) {
-	if raceflag.Enabled {
+	if annotations.RaceEnabled {
 		t.Skip("allocation counts and kernel timing ratios are unreliable under -race")
 	}
+	gated := allocGatedKernels(t)
 	ks := KernelSuite()
 	byKernel := map[string]map[string]KernelRecord{}
 	for _, k := range ks {
@@ -31,7 +66,7 @@ func TestKernelSuiteBeforeAfter(t *testing.T) {
 			t.Fatalf("%s: missing fast measurement", name)
 		}
 	}
-	for _, name := range []string{"apply_pauli_14q", "expectation_12q_40t", "mul_majorana_14q", "hamiltonian_add_warm"} {
+	for _, name := range gated {
 		pair, ok := byKernel[name]
 		if !ok {
 			t.Fatalf("kernel %s not measured", name)

@@ -39,6 +39,7 @@ type AnnealOptions struct {
 // error: a panic inside a restart chain is re-raised rather than
 // silently returning nil.
 func Anneal(mh *fermion.MajoranaHamiltonian, opts AnnealOptions) *Result {
+	//hatt:lint-ignore ctxflow compat wrapper: the Ctx variant is the library API
 	res, err := AnnealCtx(context.Background(), mh, opts)
 	if err != nil {
 		panic(err)

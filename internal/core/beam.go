@@ -14,6 +14,7 @@ import (
 // returns an error: a panic inside a pool worker is re-raised rather
 // than silently returning nil.
 func BuildBeam(mh *fermion.MajoranaHamiltonian, width int) *Result {
+	//hatt:lint-ignore ctxflow compat wrapper: the Ctx variant is the library API
 	res, err := BuildBeamCtx(context.Background(), mh, width)
 	if err != nil {
 		panic(err)

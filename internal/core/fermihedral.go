@@ -22,6 +22,7 @@ type ExhaustiveResult struct {
 
 // Exhaustive runs ExhaustiveCtx with a background context; it never fails.
 func Exhaustive(mh *fermion.MajoranaHamiltonian, maxVisits int64) *ExhaustiveResult {
+	//hatt:lint-ignore ctxflow compat wrapper: the Ctx variant is the library API
 	res, _ := ExhaustiveCtx(context.Background(), mh, maxVisits)
 	return res
 }

@@ -47,6 +47,7 @@ type BuildOptions struct {
 // is a panic inside a pool worker, which is re-raised rather than
 // silently returning nil.
 func BuildWithOptions(mh *fermion.MajoranaHamiltonian, opts BuildOptions) *Result {
+	//hatt:lint-ignore ctxflow compat wrapper: the Ctx variant is the library API
 	res, err := BuildWithOptionsCtx(context.Background(), mh, opts)
 	if err != nil {
 		panic(err)

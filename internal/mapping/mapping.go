@@ -71,6 +71,8 @@ func (m *Mapping) Verify() error {
 // Apply maps a Majorana-form fermionic Hamiltonian to the qubit
 // Hamiltonian by substituting each Majorana index with its Pauli string and
 // multiplying out each monomial with exact phases.
+//
+//hatt:noalloc
 func (m *Mapping) Apply(mh *fermion.MajoranaHamiltonian) *pauli.Hamiltonian {
 	if mh.Modes != m.Modes {
 		panic(fmt.Sprintf("mapping %s: Hamiltonian on %d modes, mapping on %d", m.Name, mh.Modes, m.Modes))

@@ -24,6 +24,8 @@ func (s *String) Reset() {
 
 // MulAssign sets s ← s·t in place with exact phase tracking, allocating
 // nothing. Panics if the qubit counts differ.
+//
+//hatt:noalloc
 func (s *String) MulAssign(t String) {
 	if s.n != t.n {
 		panic(fmt.Sprintf("pauli: size mismatch %d vs %d", s.n, t.n))
@@ -40,18 +42,20 @@ func (s *String) MulAssign(t String) {
 // MulInto writes the product s·t into dst, reusing dst's buffers when they
 // are large enough (so a warm dst makes the call allocation-free). dst may
 // alias s or t. Panics if the qubit counts of s and t differ.
+//
+//hatt:noalloc
 func (s String) MulInto(dst *String, t String) {
 	if s.n != t.n {
 		panic(fmt.Sprintf("pauli: size mismatch %d vs %d", s.n, t.n))
 	}
 	w := len(s.x)
 	if cap(dst.x) < w {
-		dst.x = make([]uint64, w)
+		dst.x = make([]uint64, w) //hatt:lint-ignore noalloc cold path: warms dst once, then the branch never retriggers
 	} else {
 		dst.x = dst.x[:w]
 	}
 	if cap(dst.z) < w {
-		dst.z = make([]uint64, w)
+		dst.z = make([]uint64, w) //hatt:lint-ignore noalloc cold path: warms dst once, then the branch never retriggers
 	} else {
 		dst.z = dst.z[:w]
 	}
@@ -70,6 +74,8 @@ func (s String) MulInto(dst *String, t String) {
 // This is the parity update used by subtree/term-membership bookkeeping
 // where only the letter pattern matters; use MulAssign when the phase is
 // significant.
+//
+//hatt:noalloc
 func (s *String) XorAssign(t String) {
 	if s.n != t.n {
 		panic(fmt.Sprintf("pauli: size mismatch %d vs %d", s.n, t.n))

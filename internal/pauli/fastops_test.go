@@ -3,9 +3,10 @@ package pauli
 import (
 	"math/cmplx"
 	"math/rand"
+	"slices"
 	"testing"
 
-	"repro/internal/raceflag"
+	"repro/internal/analysis/annotations"
 )
 
 // stringFromWords builds a test string directly from symplectic words,
@@ -227,7 +228,7 @@ func TestCollisionSpillInvariants(t *testing.T) {
 // --- Allocation gates -------------------------------------------------------
 
 func TestZeroAllocMulInto(t *testing.T) {
-	if raceflag.Enabled {
+	if annotations.RaceEnabled {
 		t.Skip("allocation counts are unreliable under -race")
 	}
 	r := rand.New(rand.NewSource(3))
@@ -247,7 +248,7 @@ func TestZeroAllocMulInto(t *testing.T) {
 }
 
 func TestZeroAllocHamiltonianAddWarm(t *testing.T) {
-	if raceflag.Enabled {
+	if annotations.RaceEnabled {
 		t.Skip("allocation counts are unreliable under -race")
 	}
 	r := rand.New(rand.NewSource(5))
@@ -269,5 +270,22 @@ func TestZeroAllocHamiltonianAddWarm(t *testing.T) {
 		i++
 	}); n != 0 {
 		t.Fatalf("Hamiltonian.Coeff allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestNoAllocAnnotationCoverage pins the gates above to the static
+// contract: every function they exercise must carry the //hatt:noalloc
+// annotation the noalloc analysis pass enforces, so the runtime gate
+// and the lint rule can never drift apart.
+func TestNoAllocAnnotationCoverage(t *testing.T) {
+	annotated, err := annotations.NoAllocFuncs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"String.MulAssign", "String.MulInto", "String.XorAssign", "Hamiltonian.Add", "Hamiltonian.Coeff"} {
+		if !slices.Contains(annotated, fn) {
+			t.Errorf("%s lacks the %s annotation the zero-alloc gates rely on (annotated: %v)",
+				fn, annotations.Directive, annotated)
+		}
 	}
 }

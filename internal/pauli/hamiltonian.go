@@ -64,6 +64,8 @@ func (h *Hamiltonian) invalidate() {
 // letter-form string (LetterPhase 0); any excess phase of s is folded into
 // the coefficient so that Σ Coeff·letters reproduces c·s exactly. Adding
 // to an existing term allocates nothing.
+//
+//hatt:noalloc
 func (h *Hamiltonian) Add(c complex128, s String) {
 	if s.N() != h.n {
 		panic(fmt.Sprintf("pauli: term on %d qubits added to %d-qubit Hamiltonian", s.N(), h.n))
@@ -79,7 +81,7 @@ func (h *Hamiltonian) Add(c complex128, s String) {
 		}
 		// Fingerprint collision with different letters: exact-keyed spill.
 		if h.extra == nil {
-			h.extra = make(map[string]Term)
+			h.extra = make(map[string]Term) //hatt:lint-ignore noalloc collision spill map allocated once, off the warm path
 		}
 		k := s.Key()
 		if t, ok := h.extra[k]; ok {
@@ -206,6 +208,8 @@ func (h *Hamiltonian) NonIdentityTerms() int {
 // excess phase of s, so that h.Coeff(s)·s is the stored contribution. For a
 // plain letter-form query this is simply the stored coefficient. The
 // lookup allocates nothing.
+//
+//hatt:noalloc
 func (h *Hamiltonian) Coeff(s String) complex128 {
 	t, ok := h.terms[s.Fingerprint()]
 	if ok && !t.S.EqualUpToPhase(s) {

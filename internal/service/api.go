@@ -151,6 +151,7 @@ func writeAPIErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrQueueFull):
 		writeErr(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrClosed):
+		//hatt:lint-ignore apierr 503 is the contract for a draining daemon, not a handler bug
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrNotFound):
 		writeErr(w, http.StatusNotFound, err.Error())

@@ -170,6 +170,7 @@ func New(cfg Config) *Manager {
 	if cfg.MaxJobTime <= 0 {
 		cfg.MaxJobTime = DefaultMaxJobTime
 	}
+	//hatt:lint-ignore ctxflow daemon root context: the manager owns its own lifetime, not a request's
 	root, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:      cfg,

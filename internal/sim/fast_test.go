@@ -3,10 +3,11 @@ package sim
 import (
 	"math/cmplx"
 	"math/rand"
+	"slices"
 	"testing"
 
+	"repro/internal/analysis/annotations"
 	"repro/internal/pauli"
-	"repro/internal/raceflag"
 )
 
 func randomState(r *rand.Rand, n int) *State {
@@ -125,7 +126,7 @@ func TestExpectationStringMatchesClone(t *testing.T) {
 // --- Allocation gates -------------------------------------------------------
 
 func TestZeroAllocApplyPauli(t *testing.T) {
-	if raceflag.Enabled {
+	if annotations.RaceEnabled {
 		t.Skip("allocation counts are unreliable under -race")
 	}
 	r := rand.New(rand.NewSource(31))
@@ -139,7 +140,7 @@ func TestZeroAllocApplyPauli(t *testing.T) {
 }
 
 func TestZeroAllocExpectation(t *testing.T) {
-	if raceflag.Enabled {
+	if annotations.RaceEnabled {
 		t.Skip("allocation counts are unreliable under -race")
 	}
 	r := rand.New(rand.NewSource(37))
@@ -215,3 +216,20 @@ func benchExpectation(b *testing.B, slow bool) {
 
 func BenchmarkExpectationFast(b *testing.B) { benchExpectation(b, false) }
 func BenchmarkExpectationSlow(b *testing.B) { benchExpectation(b, true) }
+
+// TestNoAllocAnnotationCoverage pins the gates above to the static
+// contract: every function they exercise must carry the //hatt:noalloc
+// annotation the noalloc analysis pass enforces, so the runtime gate
+// and the lint rule can never drift apart.
+func TestNoAllocAnnotationCoverage(t *testing.T) {
+	annotated, err := annotations.NoAllocFuncs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []string{"State.ApplyPauli", "State.Expectation", "State.ExpectationString"} {
+		if !slices.Contains(annotated, fn) {
+			t.Errorf("%s lacks the %s annotation the zero-alloc gates rely on (annotated: %v)",
+				fn, annotations.Directive, annotated)
+		}
+	}
+}

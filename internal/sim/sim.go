@@ -93,6 +93,8 @@ func (s *State) ApplyCircuit(c *circuit.Circuit) {
 // ApplyPauli applies a Pauli string (with its phase) in place, allocating
 // nothing: the X-type mask pairs amplitudes i ↔ i⊕flip and the Z-type mask
 // supplies each side's sign through one popcount parity.
+//
+//hatt:noalloc
 func (s *State) ApplyPauli(p pauli.String) {
 	if p.N() != s.N {
 		panic("sim: pauli/state size mismatch")
@@ -161,6 +163,8 @@ func (s *State) ApplyPauliSlow(p pauli.String) {
 
 // ExpectationString returns ⟨ψ|P|ψ⟩ in one streaming pass with no clone:
 // ⟨ψ|P|ψ⟩ = Σ_j conj(ψ_j)·(Pψ)_j with (Pψ)_j read off the masks.
+//
+//hatt:noalloc
 func (s *State) ExpectationString(p pauli.String) complex128 {
 	if p.N() != s.N {
 		panic("sim: pauli/state size mismatch")
@@ -178,6 +182,8 @@ func (s *State) ExpectationString(p pauli.String) complex128 {
 // Expectation returns ⟨ψ|H|ψ⟩ (real part; H should be Hermitian).
 // Evaluating a T-term Hamiltonian on a 2^n state is T×O(2^n) bit-ops with
 // zero heap allocations once the Hamiltonian's term cache is warm.
+//
+//hatt:noalloc
 func (s *State) Expectation(h *pauli.Hamiltonian) float64 {
 	if h.N() != s.N {
 		panic("sim: hamiltonian/state size mismatch")

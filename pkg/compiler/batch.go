@@ -66,7 +66,7 @@ func CompileBatchStream(ctx context.Context, items []BatchItem, opts ...Option) 
 		defer close(ch)
 		// The pool itself runs uncancelled so that every item emits a
 		// result; cancellation is consulted per item inside the task.
-		_ = parallel.ForEach(context.Background(), len(items), o.Parallelism, func(i int) error {
+		_ = parallel.ForEach(context.WithoutCancel(ctx), len(items), o.Parallelism, func(i int) error {
 			ch <- compileBatchItem(ctx, i, items[i], item)
 			return nil
 		})
@@ -125,7 +125,9 @@ type PipelineResult struct {
 func PipelineBatch(ctx context.Context, pipes []Pipeline, opts ...Option) []PipelineResult {
 	o := NewOptions(opts...)
 	out := make([]PipelineResult, len(pipes))
-	_ = parallel.ForEach(context.Background(), len(pipes), o.Parallelism, func(i int) error {
+	// The pool runs uncancelled so every pipeline reports a result;
+	// cancellation is consulted per item inside runPipelineItem.
+	_ = parallel.ForEach(context.WithoutCancel(ctx), len(pipes), o.Parallelism, func(i int) error {
 		out[i] = runPipelineItem(ctx, i, pipes[i], opts)
 		return nil
 	})
