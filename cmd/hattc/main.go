@@ -82,8 +82,12 @@ func run() error {
 
 	if *list {
 		fmt.Println("methods:")
-		for _, name := range compiler.Methods() {
-			fmt.Println(" ", name)
+		for _, mi := range compiler.MethodTable() {
+			spec := mi.Spec
+			if mi.Param != "" {
+				spec += ", " + mi.Param
+			}
+			fmt.Printf("  %-22s %s\n", spec, mi.Description)
 		}
 		fmt.Println("devices (-device):")
 		for _, in := range arch.Catalog() {

@@ -6,16 +6,25 @@
 //
 //	hattd -addr 127.0.0.1:7707 -store-dir /var/lib/hattd
 //
-// Endpoints:
+// Endpoints (see docs/api.md for the full reference):
 //
-//	POST   /v1/compile     synchronous compile (cache-aware)
-//	POST   /v1/jobs        submit an async job (429 when the queue is full)
-//	GET    /v1/jobs/{id}   poll job status / result
-//	DELETE /v1/jobs/{id}   cancel a job
-//	GET    /v1/methods     registered mapping methods
-//	GET    /v1/healthz     liveness + version
-//	GET    /v1/stats       cache hit/miss counters and queue depth
-//	GET    /debug/vars     the same stats via expvar
+//	POST   /v1/compile          synchronous compile (cache-aware)
+//	POST   /v1/jobs             submit an async job (429 when the queue is full)
+//	GET    /v1/jobs/{id}        poll job status / result
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/methods          registered mapping methods
+//	GET    /v1/devices          device catalog
+//	GET    /v1/store/{address}  fleet peer cache-fill (stored entry by content address)
+//	GET    /v1/healthz          liveness + version
+//	GET    /v1/stats            cache/fleet counters and queue depth
+//	GET    /debug/vars          the same stats via expvar
+//
+// Several daemons form a fleet with -self plus -peers (or -fleet-config):
+// each node keeps serving everything, but a local store miss is first
+// routed by consistent hash to the peers and filled from whoever already
+// compiled it, so the fleet compiles each distinct problem once. A down
+// peer costs one bounded fetch (-peer-timeout) and the node degrades to
+// compiling locally. See docs/operations.md for topology guidance.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains in-flight
 // jobs (bounded by -drain-timeout), and exits.
@@ -33,9 +42,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/version"
+	"repro/pkg/compiler"
 )
 
 func main() {
@@ -55,6 +66,11 @@ func run() error {
 	syncTimeout := flag.Duration("timeout", service.DefaultTimeout, "synchronous /v1/compile compile budget")
 	jobTimeout := flag.Duration("job-timeout", service.DefaultMaxJobTime, "ceiling on any async job's compile time")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	selfURL := flag.String("self", "", "this node's advertised base URL in the fleet (e.g. http://10.0.0.1:7707)")
+	peers := flag.String("peers", "", "comma-separated base URLs of the other fleet nodes (enables peer cache-fill)")
+	fleetConfig := flag.String("fleet-config", "", "JSON fleet topology file ({self, peers, timeout_ms, retries}); overrides -self/-peers")
+	peerTimeout := flag.Duration("peer-timeout", fleet.DefaultTimeout, "per-attempt budget for one peer cache-fill fetch")
+	peerRetries := flag.Int("peer-retries", fleet.DefaultRetries, "extra attempts per failing peer fetch before falling back")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
@@ -67,16 +83,44 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// Fleet wiring: with peers configured, the manager and the sync
+	// compile path see the fleet-wrapped store (local tiers first, then
+	// peer cache-fill); the API keeps the raw local store for the
+	// /v1/store peer endpoint so fills never cascade across nodes.
+	fleetCfg := fleet.Config{Self: *selfURL, Peers: fleet.ParsePeers(*peers), Timeout: *peerTimeout, Retries: *peerRetries}
+	if *fleetConfig != "" {
+		fleetCfg, err = fleet.LoadConfigFile(*fleetConfig)
+		if err != nil {
+			return err
+		}
+	}
+	var (
+		compileStore compiler.Store = st
+		fleetStore   *fleet.Store
+	)
+	if len(fleetCfg.Peers) > 0 {
+		fleetStore, err = fleet.NewStore(st, fleetCfg)
+		if err != nil {
+			return err
+		}
+		compileStore = fleetStore
+	}
+
 	mgr := service.New(service.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
-		Store:      st,
+		Store:      compileStore,
 		MaxJobTime: *jobTimeout,
 	})
-	api := service.NewAPI(mgr, st,
+	apiOpts := []service.APIOption{
 		service.WithMaxModes(*maxModes),
 		service.WithSyncTimeout(*syncTimeout),
-	)
+	}
+	if fleetStore != nil {
+		apiOpts = append(apiOpts, service.WithFleet(fleetStore))
+	}
+	api := service.NewAPI(mgr, st, apiOpts...)
 
 	// The /v1/stats payload doubles as the daemon's expvar export.
 	expvar.Publish("hattd", expvar.Func(func() any { return api.StatsSnapshot() }))
@@ -102,6 +146,9 @@ func run() error {
 	// callers (the CI smoke job included) learn the real port.
 	fmt.Printf("hattd %s listening on %s (store: mem cap %d, disk %q)\n",
 		version.Version, ln.Addr(), *storeCap, *storeDir)
+	if fleetStore != nil {
+		fmt.Printf("hattd: fleet of %d peers (self %q)\n", len(fleetStore.Stats().Peers), fleetCfg.Self)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

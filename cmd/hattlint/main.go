@@ -1,7 +1,7 @@
-// Command hattlint is the repository's multichecker: it runs the five
+// Command hattlint is the repository's multichecker: it runs the six
 // invariant-enforcing analysis passes (noalloc, detrand, ctxflow,
-// locksafe, apierr) plus the lint-ignore hygiene check over the named
-// packages and exits non-zero on any finding.
+// locksafe, apierr, pkgdoc) plus the lint-ignore hygiene check over the
+// named packages and exits non-zero on any finding.
 //
 // Usage:
 //
@@ -26,6 +26,7 @@ import (
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/locksafe"
 	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/pkgdoc"
 )
 
 // analyzers is the hattlint suite, in documentation order.
@@ -35,6 +36,7 @@ var analyzers = []*framework.Analyzer{
 	ctxflow.Analyzer,
 	locksafe.Analyzer,
 	apierr.Analyzer,
+	pkgdoc.Analyzer,
 }
 
 func main() {

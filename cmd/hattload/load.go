@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// mix deterministically generates the request stream: a fixed pool of
+// (model, method) combinations for cache-hit traffic, and the same pool
+// with a unique options.seed per request for cache-miss traffic (the
+// seed is folded into the store's options digest, so every miss request
+// lands on a fresh content address and forces a real compile).
+//
+// The stream is a pure function of (seed, request index): two hattload
+// runs with the same flags issue byte-identical request sequences, which
+// is what makes BENCH_load.json comparable across commits.
+type mix struct {
+	models   []string
+	methods  []string
+	device   string
+	hitPct   int // hits per 1000 requests
+	seed     uint64
+	counter  atomic.Uint64 // request index, shared by all workers
+	missSeed atomic.Int64  // unique seed source for miss traffic
+}
+
+func newMix(models, methods []string, device string, hitRatio float64, seed uint64) (*mix, error) {
+	if len(models) == 0 || len(methods) == 0 {
+		return nil, fmt.Errorf("hattload: need at least one model and one method")
+	}
+	if hitRatio < 0 || hitRatio > 1 {
+		return nil, fmt.Errorf("hattload: hit ratio %v out of range [0, 1]", hitRatio)
+	}
+	m := &mix{
+		models:  models,
+		methods: methods,
+		device:  device,
+		hitPct:  int(math.Round(hitRatio * 1000)),
+		seed:    seed,
+	}
+	m.missSeed.Store(1) // seed 0 means "unset" on the wire; never emit it
+	return m, nil
+}
+
+// next claims the next request index. Indices are globally unique across
+// workers so the hit/miss decision and combo choice stay deterministic
+// regardless of scheduling.
+func (m *mix) next() uint64 { return m.counter.Add(1) - 1 }
+
+// request builds the /v1/compile body for request index i and reports
+// whether it is miss traffic. Hit requests cycle the combo pool with no
+// options (stable content address); miss requests add a never-repeated
+// options.seed.
+func (m *mix) request(i uint64) (body []byte, miss bool) {
+	h := splitmix64(m.seed + i)
+	combo := h >> 16 // independent bits from the hit/miss decision
+	model := m.models[combo%uint64(len(m.models))]
+	method := m.methods[(combo/uint64(len(m.models)))%uint64(len(m.methods))]
+
+	req := map[string]any{"model": model, "method": method}
+	if m.device != "" {
+		req["device"] = m.device
+	}
+	if int(h%1000) >= m.hitPct {
+		miss = true
+		req["options"] = map[string]any{"seed": m.missSeed.Add(1)}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		// Impossible for map[string]any of strings/ints; keep the
+		// closed loop alive regardless.
+		panic(err)
+	}
+	return body, miss
+}
+
+// hitCombos returns one request body per distinct (model, method) pair —
+// the warmup set. Issuing each against any node fills the fleet-visible
+// cache so the measured phases see genuine hit traffic.
+func (m *mix) hitCombos() [][]byte {
+	var out [][]byte
+	for _, model := range m.models {
+		for _, method := range m.methods {
+			req := map[string]any{"model": model, "method": method}
+			if m.device != "" {
+				req["device"] = m.device
+			}
+			b, _ := json.Marshal(req)
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// splitmix64 is the standard 64-bit mix (Vigna); a full-period bijection
+// whose outputs pass statistical tests, so consecutive indices give
+// independent-looking hit/miss decisions without any shared RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// phaseResult is one concurrency step of the ramp, as written to
+// BENCH_load.json.
+type phaseResult struct {
+	Concurrency int            `json:"concurrency"`
+	DurationMS  float64        `json:"duration_ms"`
+	Requests    int            `json:"requests"`
+	Errors      int            `json:"errors"`
+	CacheHits   int            `json:"cache_hits"`
+	MissIssued  int            `json:"miss_requests_issued"`
+	RPS         float64        `json:"rps"`
+	Latency     latencySummary `json:"latency_ms"`
+}
+
+// latencySummary reports request latency in milliseconds.
+type latencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// report is the full BENCH_load.json document.
+type report struct {
+	Tool      string        `json:"tool"`
+	Version   string        `json:"version"`
+	Targets   []string      `json:"targets"`
+	Models    []string      `json:"models"`
+	Methods   []string      `json:"methods"`
+	Device    string        `json:"device,omitempty"`
+	HitRatio  float64       `json:"hit_ratio"`
+	Seed      uint64        `json:"seed"`
+	Phases    []phaseResult `json:"phases"`
+	TotalReqs int           `json:"total_requests"`
+	TotalErrs int           `json:"total_errors"`
+}
+
+// runPhase drives one closed-loop phase: `concurrency` workers each
+// issue a request, wait for the response, and repeat until the phase
+// deadline. Targets are consulted round-robin by request index, so a
+// multi-node fleet sees interleaved traffic and cross-node cache fills.
+func runPhase(ctx context.Context, client *http.Client, targets []string, m *mix, concurrency int, duration time.Duration) phaseResult {
+	ctx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+
+	type workerTally struct {
+		latencies []float64
+		errors    int
+		hits      int
+		misses    int
+	}
+	tallies := make([]workerTally, concurrency)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(tally *workerTally) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := m.next()
+				body, miss := m.request(i)
+				if miss {
+					tally.misses++
+				}
+				target := targets[i%uint64(len(targets))]
+				t0 := time.Now()
+				cached, err := postCompile(ctx, client, target, body)
+				if ctx.Err() != nil {
+					return // deadline mid-request: do not count the cut-off request
+				}
+				tally.latencies = append(tally.latencies, float64(time.Since(t0).Microseconds())/1000)
+				if err != nil {
+					tally.errors++
+					continue
+				}
+				if cached {
+					tally.hits++
+				}
+			}
+		}(&tallies[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	res := phaseResult{Concurrency: concurrency, DurationMS: float64(elapsed.Microseconds()) / 1000}
+	for _, t := range tallies {
+		all = append(all, t.latencies...)
+		res.Errors += t.errors
+		res.CacheHits += t.hits
+		res.MissIssued += t.misses
+	}
+	res.Requests = len(all)
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.RPS = float64(res.Requests) / sec
+	}
+	res.Latency = summarize(all)
+	return res
+}
+
+// postCompile issues one synchronous compile and reports whether the
+// daemon served it from cache. Any non-200 status is an error for load
+// accounting (the generator only sends well-formed requests).
+func postCompile(ctx context.Context, client *http.Client, target string, body []byte) (cached bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/compile", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return false, fmt.Errorf("%s: status %d", target, resp.StatusCode)
+	}
+	var out struct {
+		Cached bool `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false, fmt.Errorf("%s: bad response: %v", target, err)
+	}
+	return out.Cached, nil
+}
+
+// summarize computes the latency digest. The input is consumed (sorted
+// in place).
+func summarize(latencies []float64) latencySummary {
+	if len(latencies) == 0 {
+		return latencySummary{}
+	}
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	return latencySummary{
+		Mean: sum / float64(len(latencies)),
+		P50:  percentile(latencies, 50),
+		P95:  percentile(latencies, 95),
+		P99:  percentile(latencies, 99),
+		Max:  latencies[len(latencies)-1],
+	}
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted
+// slice: the smallest value such that at least p% of samples are ≤ it.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// parseRamp turns "1,4,16" into the phase concurrency ladder.
+func parseRamp(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("hattload: bad ramp step %q (want a positive integer)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("hattload: empty concurrency ramp")
+	}
+	return out, nil
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustMix(t *testing.T, hitRatio float64, seed uint64) *mix {
+	t.Helper()
+	m, err := newMix([]string{"h2", "hubbard:2x2"}, []string{"jw", "hatt"}, "", hitRatio, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMixDeterministic pins the core reproducibility property: the
+// request stream is a pure function of (seed, index) — except for the
+// miss seeds, which must never repeat.
+func TestMixDeterministic(t *testing.T) {
+	a, b := mustMix(t, 0.5, 42), mustMix(t, 0.5, 42)
+	for i := uint64(0); i < 200; i++ {
+		ba, missA := a.request(i)
+		bb, missB := b.request(i)
+		if missA != missB {
+			t.Fatalf("index %d: hit/miss decision diverged", i)
+		}
+		if missA {
+			continue // miss bodies differ by design (unique seeds)
+		}
+		if string(ba) != string(bb) {
+			t.Fatalf("index %d: hit bodies diverged:\n%s\n%s", i, ba, bb)
+		}
+	}
+}
+
+func TestMixHitRatioAndCombos(t *testing.T) {
+	m := mustMix(t, 0.7, 1)
+	combos := map[string]bool{}
+	hits := 0
+	const n = 2000
+	seenSeeds := map[int64]bool{}
+	for i := uint64(0); i < n; i++ {
+		body, miss := m.request(i)
+		var req struct {
+			Model   string `json:"model"`
+			Method  string `json:"method"`
+			Options *struct {
+				Seed int64 `json:"seed"`
+			} `json:"options"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			t.Fatalf("index %d: body %s: %v", i, body, err)
+		}
+		combos[req.Model+"/"+req.Method] = true
+		if !miss {
+			hits++
+			if req.Options != nil {
+				t.Fatalf("hit request carries options: %s", body)
+			}
+			continue
+		}
+		if req.Options == nil || req.Options.Seed == 0 {
+			t.Fatalf("miss request lacks a nonzero seed: %s", body)
+		}
+		if seenSeeds[req.Options.Seed] {
+			t.Fatalf("miss seed %d repeated — would be a spurious cache hit", req.Options.Seed)
+		}
+		seenSeeds[req.Options.Seed] = true
+	}
+	// All four model×method combos appear.
+	if len(combos) != 4 {
+		t.Errorf("combo coverage = %v, want all 4", combos)
+	}
+	// Hit fraction within 5 points of the requested 70%.
+	if frac := float64(hits) / n; frac < 0.65 || frac > 0.75 {
+		t.Errorf("hit fraction = %.3f, want ≈ 0.70", frac)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	if _, err := newMix(nil, []string{"jw"}, "", 0.5, 1); err == nil {
+		t.Error("empty model list accepted")
+	}
+	if _, err := newMix([]string{"h2"}, nil, "", 0.5, 1); err == nil {
+		t.Error("empty method list accepted")
+	}
+	if _, err := newMix([]string{"h2"}, []string{"jw"}, "", 1.5, 1); err == nil {
+		t.Error("hit ratio > 1 accepted")
+	}
+}
+
+func TestHitCombos(t *testing.T) {
+	m := mustMix(t, 0.5, 1)
+	combos := m.hitCombos()
+	if len(combos) != 4 {
+		t.Fatalf("hitCombos = %d bodies, want 4", len(combos))
+	}
+	for _, b := range combos {
+		var req map[string]any
+		if err := json.Unmarshal(b, &req); err != nil {
+			t.Fatalf("combo %s: %v", b, err)
+		}
+		if _, has := req["options"]; has {
+			t.Errorf("warmup combo carries options: %s", b)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}, {10, 1}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+	one := []float64{7}
+	for _, p := range []float64{1, 50, 99} {
+		if got := percentile(one, p); got != 7 {
+			t.Errorf("percentile(single, %v) = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := summarize([]float64{4, 2, 6, 8})
+	if s.Mean != 5 || s.Max != 8 || s.P50 != 4 {
+		t.Errorf("summarize = %+v", s)
+	}
+	if z := summarize(nil); z != (latencySummary{}) {
+		t.Errorf("summarize(nil) = %+v, want zero", z)
+	}
+}
+
+func TestParseRamp(t *testing.T) {
+	got, err := parseRamp(" 1, 4 ,16,")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {
+		t.Errorf("parseRamp = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-2", "x", "1,nope"} {
+		if _, err := parseRamp(bad); err == nil {
+			t.Errorf("parseRamp(%q): want error", bad)
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Error("splitList(\"\") should be nil")
+	}
+}
+
+// fakeDaemon mimics hattd's /v1/compile closely enough for phase
+// accounting: 200 with {"cached": <bool>} and a request counter.
+func fakeDaemon(t *testing.T, cached bool) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var count atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/compile" {
+			http.NotFound(w, r)
+			return
+		}
+		count.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"cached": cached})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &count
+}
+
+func TestRunPhase(t *testing.T) {
+	srv, count := fakeDaemon(t, true)
+	m := mustMix(t, 1.0, 1) // all hits: no compile cost in the fake
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	ph := runPhase(context.Background(), client, []string{srv.URL}, m, 4, 300*time.Millisecond)
+	if ph.Requests == 0 {
+		t.Fatal("phase recorded no requests")
+	}
+	if ph.Errors != 0 {
+		t.Fatalf("phase errors = %d against a healthy server", ph.Errors)
+	}
+	if ph.CacheHits != ph.Requests {
+		t.Errorf("cache hits %d != requests %d with an all-cached server", ph.CacheHits, ph.Requests)
+	}
+	if ph.RPS <= 0 {
+		t.Errorf("rps = %v", ph.RPS)
+	}
+	if ph.Concurrency != 4 {
+		t.Errorf("concurrency = %d", ph.Concurrency)
+	}
+	if ph.Latency.P50 <= 0 || ph.Latency.P99 < ph.Latency.P50 || ph.Latency.Max < ph.Latency.P99 {
+		t.Errorf("latency digest not monotone: %+v", ph.Latency)
+	}
+	// The recorded count is within the fake's own accounting (cut-off
+	// requests at the deadline may be counted by the server but not the
+	// phase, never the reverse).
+	if got := count.Load(); got < int64(ph.Requests) {
+		t.Errorf("server saw %d requests, phase claims %d", got, ph.Requests)
+	}
+}
+
+func TestRunPhaseCountsErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom","status":500}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	m := mustMix(t, 1.0, 1)
+	client := &http.Client{Timeout: 5 * time.Second}
+	ph := runPhase(context.Background(), client, []string{srv.URL}, m, 2, 200*time.Millisecond)
+	if ph.Requests == 0 || ph.Errors != ph.Requests {
+		t.Errorf("errors = %d of %d requests, want all errored", ph.Errors, ph.Requests)
+	}
+	if ph.CacheHits != 0 {
+		t.Errorf("cache hits = %d from an erroring server", ph.CacheHits)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := report{
+		Tool: "hattload", Version: "test", Targets: []string{"http://a"},
+		Models: []string{"h2"}, Methods: []string{"jw"}, HitRatio: 0.7, Seed: 1,
+		Phases: []phaseResult{{
+			Concurrency: 2, DurationMS: 1000, Requests: 10, RPS: 10,
+			Latency: latencySummary{Mean: 1, P50: 1, P95: 2, P99: 2, Max: 3},
+		}},
+		TotalReqs: 10,
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Phases[0].Latency.P99 != 2 || back.TotalReqs != 10 {
+		t.Errorf("report did not round-trip: %+v", back)
+	}
+}

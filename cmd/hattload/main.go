@@ -1,0 +1,122 @@
+// Command hattload is a closed-loop load generator for hattd fleets. It
+// drives mixed cache-hit/cache-miss compile traffic over a ramp of
+// concurrency levels and writes a machine-readable throughput/latency
+// report (BENCH_load.json) suitable for regression tracking.
+//
+//	hattload -targets http://127.0.0.1:7707 -ramp 1,4,16 -duration 5s -out BENCH_load.json
+//
+// Traffic model: a deterministic stream (pure function of -seed and the
+// request index) cycling a model × method pool. A -hit-ratio fraction of
+// requests repeat pool entries verbatim — after the warmup pass these
+// are cache hits, served from the local store or filled from a fleet
+// peer. The rest carry a unique options.seed, which lands on a fresh
+// content address and forces a genuine compile. Multiple -targets are
+// consulted round-robin, so a fleet sees interleaved traffic and the
+// report reflects cross-node cache-fill behaviour.
+//
+// Closed loop means each worker waits for its response before sending
+// the next request: measured RPS is what the service actually sustains
+// at that concurrency, not an open-loop arrival rate. See
+// docs/operations.md for how to read the report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/version"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hattload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	targets := flag.String("targets", "http://127.0.0.1:7707", "comma-separated hattd base URLs (round-robin)")
+	rampFlag := flag.String("ramp", "1,2,4", "comma-separated concurrency levels, one phase each")
+	duration := flag.Duration("duration", 5*time.Second, "measured duration of each phase")
+	hitRatio := flag.Float64("hit-ratio", 0.7, "fraction of requests that repeat cached work (0..1)")
+	modelsFlag := flag.String("models", "h2,hubbard:2x2", "comma-separated model specs to cycle")
+	methodsFlag := flag.String("methods", "jw,bk,hatt", "comma-separated mapping methods to cycle")
+	device := flag.String("device", "", "optional device spec added to every request (routed compiles)")
+	seed := flag.Uint64("seed", 1, "stream seed; same flags + same seed = identical request sequence")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request budget")
+	warm := flag.Bool("warm", true, "issue each hit combo once before measuring, so hits are hits")
+	out := flag.String("out", "BENCH_load.json", "report path (- for stdout)")
+	showVersion := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(version.String("hattload"))
+		return nil
+	}
+
+	targetList := splitList(*targets)
+	if len(targetList) == 0 {
+		return fmt.Errorf("no targets")
+	}
+	ramp, err := parseRamp(*rampFlag)
+	if err != nil {
+		return err
+	}
+	gen, err := newMix(splitList(*modelsFlag), splitList(*methodsFlag), *device, *hitRatio, *seed)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	ctx := context.Background()
+
+	if *warm {
+		combos := gen.hitCombos()
+		fmt.Fprintf(os.Stderr, "hattload: warming %d combos against %s\n", len(combos), targetList[0])
+		for _, body := range combos {
+			if _, err := postCompile(ctx, client, targetList[0], body); err != nil {
+				return fmt.Errorf("warmup: %w", err)
+			}
+		}
+	}
+
+	rep := report{
+		Tool:     "hattload",
+		Version:  version.Version,
+		Targets:  targetList,
+		Models:   splitList(*modelsFlag),
+		Methods:  splitList(*methodsFlag),
+		Device:   *device,
+		HitRatio: *hitRatio,
+		Seed:     *seed,
+	}
+	for _, c := range ramp {
+		fmt.Fprintf(os.Stderr, "hattload: phase c=%d for %s\n", c, *duration)
+		ph := runPhase(ctx, client, targetList, gen, c, *duration)
+		fmt.Fprintf(os.Stderr, "hattload:   %d reqs, %d errors, %.1f rps, p50 %.2fms p99 %.2fms\n",
+			ph.Requests, ph.Errors, ph.RPS, ph.Latency.P50, ph.Latency.P99)
+		rep.Phases = append(rep.Phases, ph)
+		rep.TotalReqs += ph.Requests
+		rep.TotalErrs += ph.Errors
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hattload: report written to %s\n", *out)
+	return nil
+}

@@ -36,6 +36,7 @@ var Analyzer = &framework.Analyzer{
 		"repro/internal/store",
 		"repro/internal/service",
 		"repro/internal/lru",
+		"repro/internal/fleet",
 	},
 	Run: run,
 }

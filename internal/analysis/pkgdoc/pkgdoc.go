@@ -1,0 +1,66 @@
+// Package pkgdoc requires every package to carry a package comment: a
+// doc comment on the package clause of at least one of its files. The
+// package comment is the contract a reader meets first — godoc renders
+// it as the package synopsis — so a missing one is a finding, enforced
+// the same way as the behavioural invariants.
+//
+// The pass reports once per package (at the package clause of the
+// lexicographically first file), not once per file: Go convention puts
+// the comment in a single file, and any one file satisfies the check.
+package pkgdoc
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the pkgdoc pass. Scope is empty: every package in the
+// module must be documented, commands and test fixtures included.
+var Analyzer = &framework.Analyzer{
+	Name: "pkgdoc",
+	Doc:  "every package carries a package comment (godoc synopsis)",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	var first *ast.File
+	var firstName string
+	for _, f := range pass.Files {
+		if hasPackageDoc(f) {
+			return nil
+		}
+		name := pass.Fset.Position(f.Package).Filename
+		if first == nil || name < firstName {
+			first, firstName = f, name
+		}
+	}
+	if first == nil {
+		return nil // no files loaded (shouldn't happen)
+	}
+	pass.Reportf(first.Package, "package %s has no package comment; add a 'Package %s ...' doc comment to one file",
+		pass.Pkg.Name(), pass.Pkg.Name())
+	return nil
+}
+
+// hasPackageDoc reports whether the file carries a non-empty package
+// doc comment. Directive-only comment groups (//go:build and friends)
+// do not count — they are instructions to tools, not documentation.
+func hasPackageDoc(f *ast.File) bool {
+	if f.Doc == nil {
+		return false
+	}
+	for _, c := range f.Doc.List {
+		text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+		text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(c.Text, "//go:") || strings.HasPrefix(text, "+build") {
+			continue
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package pkgdoc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pkgdoc"
+)
+
+func TestPkgdocMissing(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, filepath.Join("testdata", "a"))
+}
+
+func TestPkgdocPresent(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, filepath.Join("testdata", "b"))
+}

@@ -1,0 +1,3 @@
+package a // want `package a has no package comment`
+
+func Used() int { return 1 }

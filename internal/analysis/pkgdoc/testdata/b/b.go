@@ -1,0 +1,4 @@
+// Package b is documented; the pass has nothing to say.
+package b
+
+func Used() int { return 2 }

@@ -1,0 +1,289 @@
+// Package fleet turns a set of independent hattd nodes into a small
+// compilation fleet. Each node remains a full router-and-worker — it
+// accepts any request, compiles anything locally — but before paying for
+// a search it consults its peers' content-addressed stores through the
+// peer cache-fill protocol: a local store miss is routed, by consistent
+// hash over the entry's store address, to the peers most likely to hold
+// the entry, fetched via GET /v1/store/{address}, verified (the mapping
+// algebra is re-checked on import exactly as it is for the disk tier),
+// installed locally, and served as a cache hit.
+//
+// The fleet degrades, never fails: a down, slow, or cold peer costs one
+// bounded fetch (Config.Timeout per attempt, Config.Retries extra
+// attempts) and the node falls back to compiling locally. There is no
+// membership protocol and no coordination traffic — the ring is derived
+// deterministically from static configuration, so every node agrees on
+// ownership from its flags alone.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Defaults for Config's zero fields.
+const (
+	DefaultTimeout = 2 * time.Second
+	DefaultRetries = 1
+	// maxFillBytes bounds one peer response; a mapping entry is a few KB,
+	// so anything near this is a misbehaving peer, not a big entry.
+	maxFillBytes = 8 << 20
+)
+
+// Config describes one node's view of the fleet.
+type Config struct {
+	// Self is this node's own advertised base URL (e.g.
+	// "http://10.0.0.1:7707"). It is excluded from fetch targets; a node
+	// never dials itself.
+	Self string
+	// Peers are the base URLs of every fleet member (Self may be listed
+	// or omitted — it is filtered out either way).
+	Peers []string
+	// Timeout bounds each individual peer fetch. Zero means
+	// DefaultTimeout.
+	Timeout time.Duration
+	// Retries is how many additional attempts a failing fetch gets before
+	// the next peer (or local compilation) takes over. Negative means 0;
+	// zero means DefaultRetries.
+	Retries int
+}
+
+// fileConfig is the JSON shape of a -fleet-config file.
+type fileConfig struct {
+	Self      string   `json:"self"`
+	Peers     []string `json:"peers"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	Retries   *int     `json:"retries,omitempty"`
+}
+
+// LoadConfigFile reads a fleet topology from a JSON file:
+//
+//	{"self": "http://10.0.0.1:7707",
+//	 "peers": ["http://10.0.0.1:7707", "http://10.0.0.2:7707"],
+//	 "timeout_ms": 2000, "retries": 1}
+//
+// Unknown fields are rejected so a typo fails loudly at startup instead
+// of silently running solo.
+func LoadConfigFile(path string) (Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("fleet: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var fc fileConfig
+	if err := dec.Decode(&fc); err != nil {
+		return Config{}, fmt.Errorf("fleet: config %s: %w", path, err)
+	}
+	cfg := Config{Self: fc.Self, Peers: fc.Peers, Timeout: time.Duration(fc.TimeoutMS) * time.Millisecond}
+	if fc.Retries != nil {
+		cfg.Retries = *fc.Retries
+		if cfg.Retries <= 0 {
+			cfg.Retries = -1 // explicit zero survives normalization
+		}
+	}
+	return cfg, nil
+}
+
+// ParsePeers splits a comma-separated -peers flag value into base URLs,
+// trimming whitespace and dropping empties.
+func ParsePeers(csv string) []string {
+	var peers []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// validatePeer rejects base URLs the client could not dial.
+func validatePeer(p string) error {
+	u, err := url.Parse(p)
+	if err != nil {
+		return fmt.Errorf("fleet: peer %q: %w", p, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("fleet: peer %q: scheme must be http or https", p)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("fleet: peer %q: missing host", p)
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the fleet layer's counters.
+type Stats struct {
+	Self      string   `json:"self,omitempty"`
+	Peers     []string `json:"peers"`
+	PeerHits  int64    `json:"peer_hits"`   // entries filled from a peer
+	PeerMiss  int64    `json:"peer_misses"` // fan-outs where no peer held the entry
+	PeerError int64    `json:"peer_errors"` // failed fetch attempts (timeouts, 5xx, bad payloads)
+}
+
+// Store wraps a node's local content-addressed store with peer
+// cache-fill. It implements the same Get/Put surface as *store.Store
+// (and therefore compiler.Store), so it drops into the job manager and
+// the sync compile path unchanged:
+//
+//	Get: local tiers first; on a miss, fetch from peers in ring order and
+//	     import the first verified payload. Only a fill failure on every
+//	     candidate is a miss — which the compile layer answers by
+//	     compiling locally (degraded mode).
+//	Put: local only. Fill is pull-based; entries propagate to the nodes
+//	     that actually see demand for them.
+type Store struct {
+	local   *store.Store
+	ring    *Ring
+	self    string
+	client  *http.Client
+	retries int
+
+	peerHits, peerMiss, peerErr atomic.Int64
+}
+
+// NewStore builds the fleet wrapper over a local store. An empty peer
+// list (after removing Self) is an error — single-node daemons should
+// use the local store directly.
+func NewStore(local *store.Store, cfg Config) (*Store, error) {
+	if local == nil {
+		return nil, errors.New("fleet: nil local store")
+	}
+	var others []string
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			continue
+		}
+		if err := validatePeer(p); err != nil {
+			return nil, err
+		}
+		others = append(others, p)
+	}
+	if len(others) == 0 {
+		return nil, errors.New("fleet: no peers besides self")
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	retries := cfg.Retries
+	switch {
+	case retries < 0:
+		retries = 0
+	case retries == 0:
+		retries = DefaultRetries
+	}
+	return &Store{
+		local:   local,
+		ring:    NewRing(others),
+		self:    cfg.Self,
+		client:  &http.Client{Timeout: timeout},
+		retries: retries,
+	}, nil
+}
+
+// Local returns the wrapped single-node store (what the peer endpoint
+// itself serves from — a node answers fleet traffic from its own tiers,
+// never by re-fanning out).
+func (f *Store) Local() *store.Store { return f.local }
+
+// Get consults the local tiers, then the fleet.
+func (f *Store) Get(key store.Key) (*store.Entry, bool) {
+	if e, ok := f.local.Get(key); ok {
+		return e, true
+	}
+	return f.fill(key)
+}
+
+// Put stores locally. (Pull-based fill: peers that want the entry will
+// come and get it.)
+func (f *Store) Put(key store.Key, entry *store.Entry) { f.local.Put(key, entry) }
+
+// Stats snapshots the fleet counters.
+func (f *Store) Stats() Stats {
+	return Stats{
+		Self:      f.self,
+		Peers:     f.ring.Peers(),
+		PeerHits:  f.peerHits.Load(),
+		PeerMiss:  f.peerMiss.Load(),
+		PeerError: f.peerErr.Load(),
+	}
+}
+
+// fill runs the peer cache-fill protocol for one key: candidates in
+// consistent-hash preference order, each given 1+retries bounded
+// attempts; the first verified payload is imported into the local store
+// and returned. 404 means "that peer doesn't have it" and moves on
+// immediately (no retry); transport errors and bad payloads count as
+// peer errors.
+func (f *Store) fill(key store.Key) (*store.Entry, bool) {
+	addr := key.Address()
+	for _, peer := range f.ring.Owners(addr, len(f.ring.Peers())) {
+		for attempt := 0; attempt <= f.retries; attempt++ {
+			raw, status, err := f.fetch(peer, addr)
+			switch {
+			case err != nil:
+				f.peerErr.Add(1)
+				continue // retry this peer
+			case status == http.StatusNotFound:
+				// Definitive answer from a healthy peer: move on.
+			case status != http.StatusOK:
+				f.peerErr.Add(1)
+				continue
+			default:
+				e, ierr := f.local.Import(key, raw)
+				if ierr != nil {
+					// The peer served bytes that don't verify — treat the
+					// peer as broken for this key, try the next one.
+					f.peerErr.Add(1)
+				} else {
+					f.peerHits.Add(1)
+					return e, true
+				}
+			}
+			break // 404 or bad payload: next peer
+		}
+	}
+	f.peerMiss.Add(1)
+	return nil, false
+}
+
+// fetch performs one bounded GET /v1/store/{address} against one peer.
+func (f *Store) fetch(peer, addr string) ([]byte, int, error) {
+	// The wrapped store's Get signature carries no context (it is shared
+	// with in-process callers), so each fetch runs under its own
+	// deadline derived from the configured per-attempt timeout.
+	//hatt:lint-ignore ctxflow per-fetch deadline; Store.Get has no caller context to inherit
+	ctx, cancel := context.WithTimeout(context.Background(), f.client.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/store/"+addr, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little so the connection can be reused, then report.
+		io.CopyN(io.Discard, resp.Body, 1024)
+		return nil, resp.StatusCode, nil
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxFillBytes))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return raw, resp.StatusCode, nil
+}

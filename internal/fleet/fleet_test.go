@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mapping"
+	"repro/internal/store"
+)
+
+// peerServer stands in for a remote hattd's /v1/store/{address} endpoint,
+// serving Export straight off a backing store.
+func peerServer(t *testing.T, st *store.Store) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		const prefix = "/v1/store/"
+		if !strings.HasPrefix(r.URL.Path, prefix) {
+			http.NotFound(w, r)
+			return
+		}
+		key, err := store.ParseAddress(strings.TrimPrefix(r.URL.Path, prefix))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		raw, ok := st.Export(key)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func testKey(h string) store.Key {
+	return store.Key{Hamiltonian: h, Spec: "jw", Options: "v1"}
+}
+
+func testEntry(n int) *store.Entry {
+	return &store.Entry{Method: "jw", Mapping: mapping.JordanWigner(n), PredictedWeight: n}
+}
+
+func mustFleet(t *testing.T, local *store.Store, cfg Config) *Store {
+	t.Helper()
+	f, err := NewStore(local, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPeerCacheFill(t *testing.T) {
+	remote, _ := store.Open(8, "")
+	key := testKey("cafe")
+	remote.Put(key, testEntry(3))
+	peer := peerServer(t, remote)
+
+	local, _ := store.Open(8, "")
+	f := mustFleet(t, local, Config{Self: "http://self", Peers: []string{"http://self", peer.URL}})
+
+	e, ok := f.Get(key)
+	if !ok {
+		t.Fatal("fleet Get missed an entry the peer holds")
+	}
+	if e.Method != "jw" || e.Mapping.Qubits() != 3 {
+		t.Errorf("filled entry mangled: %+v", e)
+	}
+	if st := f.Stats(); st.PeerHits != 1 || st.PeerMiss != 0 || st.PeerError != 0 {
+		t.Errorf("stats after fill = %+v, want 1 peer hit", st)
+	}
+	// The fill installed locally: a second Get must not touch the peer.
+	peer.Close()
+	if _, ok := f.Get(key); !ok {
+		t.Fatal("second Get missed — fill did not install locally")
+	}
+	if st := f.Stats(); st.PeerHits != 1 {
+		t.Errorf("second Get went back to the peer: %+v", st)
+	}
+}
+
+func TestPeerMissFallsThrough(t *testing.T) {
+	remote, _ := store.Open(8, "")
+	peer := peerServer(t, remote) // healthy but cold
+	local, _ := store.Open(8, "")
+	f := mustFleet(t, local, Config{Peers: []string{peer.URL}})
+
+	if _, ok := f.Get(testKey("beef")); ok {
+		t.Fatal("Get reported a hit for an entry nobody holds")
+	}
+	st := f.Stats()
+	if st.PeerMiss != 1 || st.PeerError != 0 {
+		t.Errorf("cold-peer stats = %+v, want exactly one peer miss and no errors", st)
+	}
+}
+
+func TestDeadPeerDegradesToLocal(t *testing.T) {
+	// A listener that is already closed: connection refused, immediately.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	local, _ := store.Open(8, "")
+	f := mustFleet(t, local, Config{Peers: []string{deadURL}, Timeout: 200 * time.Millisecond, Retries: 1})
+
+	key := testKey("dead")
+	if _, ok := f.Get(key); ok {
+		t.Fatal("Get hit against a dead fleet")
+	}
+	st := f.Stats()
+	if st.PeerError != 2 { // 1 attempt + 1 retry
+		t.Errorf("peer_errors = %d, want 2 (attempt + retry)", st.PeerError)
+	}
+	// Degraded mode: the node still works alone — Put locally, Get hits.
+	f.Put(key, testEntry(2))
+	if _, ok := f.Get(key); !ok {
+		t.Fatal("local store stopped working because a peer is down")
+	}
+}
+
+func TestCorruptPeerPayloadRejected(t *testing.T) {
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"hamiltonian":"cafe","spec":"jw","options":"v1","method":"jw","mapping":"garbage"}`))
+	}))
+	t.Cleanup(evil.Close)
+	local, _ := store.Open(8, "")
+	f := mustFleet(t, local, Config{Peers: []string{evil.URL}})
+
+	key := testKey("cafe")
+	if _, ok := f.Get(key); ok {
+		t.Fatal("a corrupt peer payload was served as a hit")
+	}
+	if st := f.Stats(); st.PeerError != 1 {
+		t.Errorf("peer_errors = %d, want 1 for the rejected payload", st.PeerError)
+	}
+	if _, ok := local.Get(key); ok {
+		t.Fatal("a corrupt peer payload was installed in the local store")
+	}
+}
+
+func TestFillPrefersOwnerButFallsBack(t *testing.T) {
+	// Two peers; only the second (whichever the ring ranks last) holds the
+	// entry. The fill must still find it — any node can satisfy any hit.
+	holderStore, _ := store.Open(8, "")
+	key := testKey("fallback")
+	holderStore.Put(key, testEntry(4))
+	holder := peerServer(t, holderStore)
+	coldStore, _ := store.Open(8, "")
+	cold := peerServer(t, coldStore)
+
+	local, _ := store.Open(8, "")
+	f := mustFleet(t, local, Config{Peers: []string{cold.URL, holder.URL}})
+	if _, ok := f.Get(key); !ok {
+		t.Fatal("fill gave up before consulting every peer")
+	}
+	if st := f.Stats(); st.PeerHits != 1 {
+		t.Errorf("stats = %+v, want 1 peer hit", st)
+	}
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	local, _ := store.Open(8, "")
+	cases := []Config{
+		{}, // no peers at all
+		{Self: "http://a", Peers: []string{"http://a"}}, // only self
+		{Peers: []string{"not a url %"}},
+		{Peers: []string{"ftp://wrong-scheme"}},
+		{Peers: []string{"http://"}},
+	}
+	for _, cfg := range cases {
+		if _, err := NewStore(local, cfg); err == nil {
+			t.Errorf("NewStore(%+v): want error, got nil", cfg)
+		}
+	}
+	if _, err := NewStore(nil, Config{Peers: []string{"http://a:1"}}); err == nil {
+		t.Error("NewStore(nil local): want error")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got := ParsePeers(" http://a:1, http://b:2 ,,http://c:3")
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("ParsePeers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ParsePeers[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if ParsePeers("") != nil {
+		t.Error("ParsePeers(\"\") should be nil")
+	}
+}
+
+func TestLoadConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	if err := os.WriteFile(path, []byte(`{"self":"http://a:1","peers":["http://a:1","http://b:2"],"timeout_ms":250,"retries":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfigFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Self != "http://a:1" || len(cfg.Peers) != 2 || cfg.Timeout != 250*time.Millisecond {
+		t.Errorf("LoadConfigFile = %+v", cfg)
+	}
+	if cfg.Retries != -1 {
+		t.Errorf("explicit retries:0 should normalize to -1 (meaning zero retries), got %d", cfg.Retries)
+	}
+
+	// Unknown fields fail loudly.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"self":"http://a:1","peerz":["http://b:2"]}`), 0o644)
+	if _, err := LoadConfigFile(bad); err == nil {
+		t.Error("unknown config field accepted")
+	}
+	if _, err := LoadConfigFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing config file accepted")
+	}
+}

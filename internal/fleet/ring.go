@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerPeer is the number of virtual nodes each peer contributes to
+// the ring. 128 keeps the load split within a few percent of even for
+// small fleets while the ring stays tiny (N×128 uint64s).
+const vnodesPerPeer = 128
+
+// Ring is a consistent-hash ring over peer base URLs. Keys (store
+// addresses) hash onto the same unit circle as the peers' virtual nodes;
+// a key's owner is the first virtual node clockwise. Adding or removing
+// one peer therefore remaps only ~1/N of the address space — the property
+// that makes peer cache-fill stay mostly warm across topology changes.
+//
+// A Ring is immutable after New; it is safe for concurrent use.
+type Ring struct {
+	hashes []uint64          // sorted vnode positions
+	owner  map[uint64]string // vnode position → peer
+	peers  []string          // distinct peers, stable order
+}
+
+// NewRing builds a ring over the given peers. Duplicates are collapsed;
+// an empty peer list yields an empty ring whose Owner is always "".
+func NewRing(peers []string) *Ring {
+	r := &Ring{owner: make(map[uint64]string)}
+	seen := make(map[string]bool)
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+		for i := 0; i < vnodesPerPeer; i++ {
+			h := hashPoint(p, i)
+			// On the (astronomically unlikely) collision the first peer
+			// keeps the slot; dropping one vnode of 64 is harmless.
+			if _, taken := r.owner[h]; taken {
+				continue
+			}
+			r.owner[h] = p
+			r.hashes = append(r.hashes, h)
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+	return r
+}
+
+// Peers returns the distinct peers on the ring in insertion order.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Owner returns the peer owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct peers in preference order for key: the
+// owner first, then each next distinct peer clockwise. This is the fetch
+// order for peer cache-fill — if the owner is down or cold, the next
+// peers are consulted, so any node holding the entry can satisfy the hit.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.hashes) && len(out) < n; i++ {
+		p := r.owner[r.hashes[(start+i)%len(r.hashes)]]
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// hashPoint places one virtual node. SHA-256 of "peer#i" (truncated to
+// 64 bits) is deterministic across processes — every fleet member must
+// agree on the ring from configuration alone, with no coordination
+// traffic — and mixes well enough that small fleets stay balanced.
+func hashPoint(peer string, vnode int) uint64 {
+	return hash64(peer + "#" + strconv.Itoa(vnode))
+}
+
+func hashKey(key string) uint64 { return hash64(key) }
+
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,87 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	a := NewRing(peers)
+	b := NewRing([]string{"http://c:1", "http://a:1", "http://b:1"}) // order must not matter
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("ring disagreement on %q: %q vs %q (peer order must not matter)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingEmptyAndDuplicates(t *testing.T) {
+	if got := NewRing(nil).Owner("x"); got != "" {
+		t.Errorf("empty ring Owner = %q, want \"\"", got)
+	}
+	r := NewRing([]string{"http://a:1", "http://a:1", "", "http://b:1"})
+	if n := len(r.Peers()); n != 2 {
+		t.Errorf("duplicates not collapsed: %d peers", n)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(peers)
+	counts := make(map[string]int)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("addr-%d", i))]++
+	}
+	for _, p := range peers {
+		// Even split would be n/4; vnode hashing should keep every peer
+		// within a loose 2× band — this guards against degenerate hashing,
+		// not statistical perfection.
+		if counts[p] < n/8 || counts[p] > n/2 {
+			t.Errorf("peer %s owns %d of %d keys — ring badly unbalanced: %v", p, counts[p], n, counts)
+		}
+	}
+}
+
+func TestRingOwnersDistinctPreferenceOrder(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(peers)
+	owners := r.Owners("some-address", 99)
+	if len(owners) != len(peers) {
+		t.Fatalf("Owners returned %d peers, want all %d", len(owners), len(peers))
+	}
+	seen := make(map[string]bool)
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("Owners repeated %q: %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if owners[0] != r.Owner("some-address") {
+		t.Errorf("Owners[0] = %q disagrees with Owner = %q", owners[0], r.Owner("some-address"))
+	}
+}
+
+// TestRingStability: removing one peer must remap only the keys that peer
+// owned — the consistent-hashing property the fleet's warm caches rely on.
+func TestRingStability(t *testing.T) {
+	full := NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"})
+	reduced := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"})
+	moved := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("addr-%d", i)
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before == "http://d:1" {
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved > 0 {
+		t.Errorf("%d keys moved between surviving peers after removing one node; consistent hashing should move none", moved)
+	}
+}

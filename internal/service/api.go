@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/fermion"
+	"repro/internal/fleet"
 	"repro/internal/models"
 	"repro/internal/store"
 	"repro/internal/version"
@@ -24,7 +25,8 @@ import (
 // or absurd input is always a 4xx, never a panic.
 type API struct {
 	mgr      *Manager
-	store    *store.Store // may be nil; used for /v1/stats
+	store    *store.Store // may be nil; used for /v1/stats and /v1/store/{address}
+	fleet    *fleet.Store // may be nil; used for the /v1/stats fleet block
 	maxModes int
 	timeout  time.Duration
 	started  time.Time
@@ -69,6 +71,14 @@ func WithSyncTimeout(d time.Duration) APIOption {
 	}
 }
 
+// WithFleet attaches the node's fleet store so /v1/stats reports the
+// peer cache-fill counters. The compile paths pick the fleet store up
+// through the manager's Config.Store; this option only feeds
+// observability.
+func WithFleet(f *fleet.Store) APIOption {
+	return func(a *API) { a.fleet = f }
+}
+
 // NewAPI wires the HTTP surface over a job manager and an optional
 // store (the same one the manager's jobs consult, surfaced in
 // /v1/stats).
@@ -87,19 +97,50 @@ func NewAPI(mgr *Manager, st *store.Store, opts ...APIOption) *API {
 	return a
 }
 
-// Handler returns the route table. Method mismatches get 405 from the
-// mux's pattern matching; everything else lands in a handler that only
-// writes JSON.
+// routeTable returns every registered route pattern paired with its
+// handler. Handler and Routes both consume this one table, so the served
+// mux and the documented route list cannot drift apart — which is what
+// lets the doc-sync test hold docs/api.md to the real surface.
+func (a *API) routeTable() []struct {
+	pattern string
+	handler http.HandlerFunc
+} {
+	return []struct {
+		pattern string
+		handler http.HandlerFunc
+	}{
+		{"POST /v1/compile", a.handleCompile},
+		{"POST /v1/jobs", a.handleSubmit},
+		{"GET /v1/jobs/{id}", a.handleJobStatus},
+		{"DELETE /v1/jobs/{id}", a.handleJobCancel},
+		{"GET /v1/methods", a.handleMethods},
+		{"GET /v1/devices", a.handleDevices},
+		{"GET /v1/store/{address}", a.handleStoreExport},
+		{"GET /v1/healthz", a.handleHealthz},
+		{"GET /v1/stats", a.handleStats},
+	}
+}
+
+// Routes lists every registered route pattern ("METHOD /v1/path"). The
+// doc-sync test asserts docs/api.md documents exactly this set.
+func Routes() []string {
+	var a API
+	table := a.routeTable()
+	routes := make([]string, len(table))
+	for i, r := range table {
+		routes[i] = r.pattern
+	}
+	return routes
+}
+
+// Handler returns the route table as an http.Handler. Method mismatches
+// get 405 from the mux's pattern matching; everything else lands in a
+// handler that only writes JSON.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/compile", a.handleCompile)
-	mux.HandleFunc("POST /v1/jobs", a.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobStatus)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobCancel)
-	mux.HandleFunc("GET /v1/methods", a.handleMethods)
-	mux.HandleFunc("GET /v1/devices", a.handleDevices)
-	mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", a.handleStats)
+	for _, r := range a.routeTable() {
+		mux.HandleFunc(r.pattern, r.handler)
+	}
 	return recoverJSON(mux)
 }
 
@@ -572,6 +613,36 @@ func (a *API) handleDevices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"devices": arch.Catalog()})
 }
 
+// handleStoreExport is the fleet peer cache-fill endpoint: it serves the
+// canonical wire encoding of one stored entry, addressed by the URL form
+// of its content key (store.Key.Address). Responses come from this
+// node's own store tiers only — a node answers fleet traffic from what
+// it holds, never by fanning out again, so fills cannot cascade.
+//
+// 400 for a malformed address, 404 when the store is disabled or the
+// entry is absent. The 200 body is the store's disk-entry JSON, which
+// the requesting peer re-validates (key match + mapping algebra) before
+// trusting.
+func (a *API) handleStoreExport(w http.ResponseWriter, r *http.Request) {
+	key, err := store.ParseAddress(r.PathValue("address"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if a.store == nil {
+		writeErr(w, http.StatusNotFound, "service: no store attached")
+		return
+	}
+	raw, ok := a.store.Export(key)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "service: no entry at this address")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
+}
+
 func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
@@ -598,6 +669,9 @@ func (a *API) StatsSnapshot() map[string]any {
 	}
 	if a.store != nil {
 		out["store"] = a.store.Stats()
+	}
+	if a.fleet != nil {
+		out["fleet"] = a.fleet.Stats()
 	}
 	return out
 }

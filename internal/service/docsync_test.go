@@ -1,0 +1,59 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// routeRE matches anything in the docs that looks like a route spec:
+// an HTTP method followed by a /v1 path. The reverse direction of the
+// sync check — the docs may not name a route that isn't registered.
+var routeRE = regexp.MustCompile(`(GET|POST|PUT|DELETE|PATCH) /v1/[A-Za-z0-9/{}_.-]*`)
+
+// TestDocsMatchRoutes holds docs/api.md to the daemon's registered
+// route table in both directions: every registered route pattern must
+// appear literally in the docs, and every route-shaped string in the
+// docs must be a registered pattern. Renaming, adding, or removing an
+// endpoint without updating the reference fails the build.
+func TestDocsMatchRoutes(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "api.md"))
+	if err != nil {
+		t.Fatalf("docs/api.md unreadable: %v", err)
+	}
+	docs := string(raw)
+
+	registered := make(map[string]bool)
+	for _, pattern := range Routes() {
+		registered[pattern] = true
+		if !strings.Contains(docs, pattern) {
+			t.Errorf("registered route %q is not documented in docs/api.md", pattern)
+		}
+	}
+
+	for _, m := range routeRE.FindAllString(docs, -1) {
+		if !registered[m] {
+			t.Errorf("docs/api.md documents %q, which is not a registered route", m)
+		}
+	}
+}
+
+// TestRoutesAreWellFormed pins the shape doc tooling relies on: every
+// pattern is "METHOD /v1/..." with no duplicates.
+func TestRoutesAreWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, pattern := range Routes() {
+		if seen[pattern] {
+			t.Errorf("duplicate route pattern %q", pattern)
+		}
+		seen[pattern] = true
+		if !routeRE.MatchString(pattern) {
+			t.Errorf("route %q does not match the documented METHOD /v1/path shape", pattern)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("Routes() returned nothing")
+	}
+}

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/mapping"
+	"repro/internal/store"
+)
+
+// TestStoreExportEndpoint pins the peer cache-fill endpoint's contract:
+// 200 with the canonical wire entry for a stored address, 404 for an
+// absent one, 400 (structured) for malformed addresses.
+func TestStoreExportEndpoint(t *testing.T) {
+	srv, st, _ := testServer(t, "")
+	key := store.Key{Hamiltonian: "cafe", Spec: "jw", Options: "v1"}
+	st.Put(key, &store.Entry{Method: "jw", Mapping: mapping.JordanWigner(2), PredictedWeight: 5})
+
+	resp, err := http.Get(srv.URL + "/v1/store/" + key.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stored address: %d %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	// The body must round-trip through Import on another store.
+	other, _ := store.Open(4, "")
+	if _, err := other.Import(key, raw); err != nil {
+		t.Fatalf("served payload does not import: %v", err)
+	}
+
+	// Absent entry: 404 with the error envelope.
+	missing := store.Key{Hamiltonian: "beef", Spec: "jw", Options: "v1"}
+	r404, body := getJSON(t, srv.URL+"/v1/store/"+missing.Address())
+	if r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing address: %d %v", r404.StatusCode, body)
+	}
+	if body["error"] == nil || body["status"] != float64(http.StatusNotFound) {
+		t.Errorf("404 body not a structured envelope: %v", body)
+	}
+}
+
+func TestStoreExportMalformedAddress(t *testing.T) {
+	srv, _, _ := testServer(t, "")
+	for _, addr := range []string{"notbase64!!!", "one.two", "a.b.c.d", "YQ==.YQ.YQ"} {
+		resp, body := getJSON(t, srv.URL+"/v1/store/"+addr)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("address %q: status %d, want 400 (%v)", addr, resp.StatusCode, body)
+		}
+		if body["error"] == nil || body["status"] != float64(http.StatusBadRequest) {
+			t.Errorf("address %q: body %v is not the structured error envelope", addr, body)
+		}
+	}
+}
+
+func TestStoreExportNoStore(t *testing.T) {
+	mgr := New(Config{Workers: 1, QueueDepth: 2})
+	srv := httptest.NewServer(NewAPI(mgr, nil).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	})
+	key := store.Key{Hamiltonian: "cafe", Spec: "jw", Options: "v1"}
+	resp, _ := getJSON(t, srv.URL+"/v1/store/"+key.Address())
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("no-store daemon: %d, want 404", resp.StatusCode)
+	}
+}
+
+// fleetNode is one in-process hattd equivalent: local store, manager
+// compiling through the fleet wrapper, API serving the peer endpoint.
+type fleetNode struct {
+	srv   *httptest.Server
+	local *store.Store
+	fleet *fleet.Store
+}
+
+// startFleetNode boots a node. peers may be filled in later via join
+// (the URL isn't known until the listener is up), so the node starts
+// solo and is rewired by joinFleet.
+func startFleetNode(t *testing.T) *fleetNode {
+	t.Helper()
+	local, err := store.Open(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &fleetNode{local: local}
+	return n
+}
+
+// joinFleet wires the node into a fleet and starts its HTTP surface.
+func (n *fleetNode) joinFleet(t *testing.T, self string, peers []string) {
+	t.Helper()
+	f, err := fleet.NewStore(n.local, fleet.Config{Self: self, Peers: peers, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.fleet = f
+	mgr := New(Config{Workers: 2, QueueDepth: 8, Store: f})
+	n.srv.Config.Handler = NewAPI(mgr, n.local, WithFleet(f)).Handler()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	})
+}
+
+// TestFleetCrossNodeCacheHit is the in-process version of the CI
+// fleet-smoke job: a mapping compiled on node A is served by node B as a
+// peer cache hit — cached:true, byte-identical mapping — and B keeps
+// compiling locally when A dies.
+func TestFleetCrossNodeCacheHit(t *testing.T) {
+	a, b := startFleetNode(t), startFleetNode(t)
+	// Two-phase boot: listeners first (so URLs exist), then fleet wiring.
+	a.srv = httptest.NewUnstartedServer(http.NotFoundHandler())
+	b.srv = httptest.NewUnstartedServer(http.NotFoundHandler())
+	a.srv.Start()
+	b.srv.Start()
+	t.Cleanup(a.srv.Close)
+	t.Cleanup(b.srv.Close)
+	peers := []string{a.srv.URL, b.srv.URL}
+	a.joinFleet(t, a.srv.URL, peers)
+	b.joinFleet(t, b.srv.URL, peers)
+
+	req := `{"model":"hubbard:2x2","method":"hatt","include_strings":true}`
+
+	// Compile on A: a genuine search.
+	r1, b1 := postJSON(t, a.srv.URL+"/v1/compile", req)
+	if r1.StatusCode != http.StatusOK || b1["cached"] != false {
+		t.Fatalf("compile on A: %d cached=%v", r1.StatusCode, b1["cached"])
+	}
+
+	// Same request on B: peer cache-fill from A, served as a hit.
+	r2, b2 := postJSON(t, b.srv.URL+"/v1/compile", req)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("compile on B: %d %v", r2.StatusCode, b2)
+	}
+	if b2["cached"] != true {
+		t.Fatalf("compile on B not served as a cache hit: cached=%v", b2["cached"])
+	}
+	if !reflect.DeepEqual(b1["mapping"], b2["mapping"]) {
+		t.Fatalf("cross-node mapping not byte-identical:\nA: %v\nB: %v", b1["mapping"], b2["mapping"])
+	}
+	if st := b.fleet.Stats(); st.PeerHits != 1 {
+		t.Errorf("node B fleet stats = %+v, want 1 peer hit", st)
+	}
+
+	// B's /v1/stats surfaces the fleet block.
+	_, stats := getJSON(t, b.srv.URL+"/v1/stats")
+	fl, ok := stats["fleet"].(map[string]any)
+	if !ok {
+		t.Fatalf("/v1/stats has no fleet block: %v", stats)
+	}
+	if fl["peer_hits"] != float64(1) {
+		t.Errorf("stats fleet block = %v, want peer_hits 1", fl)
+	}
+
+	// Kill A. B must degrade to local compilation, not fail.
+	a.srv.Close()
+	req2 := `{"model":"h2","method":"jw","include_strings":true}`
+	r3, b3 := postJSON(t, b.srv.URL+"/v1/compile", req2)
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("compile on B with A dead: %d %v", r3.StatusCode, b3)
+	}
+	if b3["cached"] != false {
+		t.Errorf("degraded compile should be a local miss, got cached=%v", b3["cached"])
+	}
+	if st := b.fleet.Stats(); st.PeerError == 0 {
+		t.Errorf("expected peer errors after killing A, stats = %+v", st)
+	}
+}

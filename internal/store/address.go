@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/mapping"
+)
+
+// Address flattens the key into its URL-path form, the {address} segment
+// of the fleet peer endpoint GET /v1/store/{address}. Each key field is
+// base64url-encoded without padding and the three segments are joined
+// with '.', so every field round-trips byte-exactly regardless of what
+// characters a method spec or options digest contains, and the result is
+// a single path segment (no '/', no percent-escaping needed).
+func (k Key) Address() string {
+	enc := base64.RawURLEncoding
+	return enc.EncodeToString([]byte(k.Hamiltonian)) + "." +
+		enc.EncodeToString([]byte(k.Spec)) + "." +
+		enc.EncodeToString([]byte(k.Options))
+}
+
+// ParseAddress inverts Address. Anything that is not exactly three
+// base64url segments joined by '.' — wrong segment count, padding,
+// characters outside the URL-safe alphabet — is an error, which the
+// service maps to a 4xx.
+func ParseAddress(s string) (Key, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return Key{}, fmt.Errorf("store: address %q: want 3 dot-separated segments, got %d", s, len(parts))
+	}
+	var fields [3]string
+	for i, p := range parts {
+		raw, err := base64.RawURLEncoding.DecodeString(p)
+		if err != nil {
+			return Key{}, fmt.Errorf("store: address segment %d: %v", i, err)
+		}
+		fields[i] = string(raw)
+	}
+	return Key{Hamiltonian: fields[0], Spec: fields[1], Options: fields[2]}, nil
+}
+
+// Export returns the canonical wire encoding of the entry stored under
+// key — the same JSON shape the disk tier persists — serving from the
+// memory tier first and the disk tier second. It is what the
+// /v1/store/{address} peer endpoint sends to a cache-filling node. The
+// boolean reports whether the entry exists; Export never surfaces disk
+// corruption (a bad file is a miss here exactly as it is in Get).
+//
+// Export deliberately does not touch the hit/miss counters: a peer
+// pulling an entry is replication traffic, not demand, and the fleet
+// layer accounts for it separately.
+func (s *Store) Export(key Key) ([]byte, bool) {
+	id := key.id()
+	s.mu.Lock()
+	resident, ok := s.mem.Get(id)
+	s.mu.Unlock()
+	if ok {
+		raw, err := encodeEntry(key, resident)
+		if err != nil {
+			return nil, false
+		}
+		return raw, true
+	}
+	if s.dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return nil, false
+	}
+	// Validate before serving: a corrupt or mismatched file must degrade
+	// to a 404 on the peer endpoint, never propagate bad bytes through
+	// the fleet.
+	if _, err := decodeEntry(raw, key); err != nil {
+		s.diskErr.Add(1)
+		return nil, false
+	}
+	return raw, true
+}
+
+// Import parses a wire encoding produced by a peer's Export, validates it
+// against key — the embedded key fields must match and the mapping must
+// round-trip through the same algebra-verifying reader the disk tier
+// uses — and stores the entry in this node's tiers. On success it returns
+// the (private, mutation-safe) entry so the caller can serve it without a
+// second lookup.
+func (s *Store) Import(key Key, raw []byte) (*Entry, error) {
+	e, err := decodeEntry(raw, key)
+	if err != nil {
+		return nil, err
+	}
+	s.insert(key.id(), e.clone())
+	s.puts.Add(1)
+	s.writeDisk(key.id(), key, e)
+	return e, nil
+}
+
+// encodeEntry marshals one entry into the shared disk/wire JSON shape.
+func encodeEntry(key Key, e *Entry) ([]byte, error) {
+	var mt bytes.Buffer
+	if err := e.Mapping.WriteText(&mt); err != nil {
+		return nil, fmt.Errorf("store: encode mapping: %w", err)
+	}
+	return json.Marshal(diskEntry{
+		Hamiltonian:     key.Hamiltonian,
+		Spec:            key.Spec,
+		Options:         key.Options,
+		Method:          e.Method,
+		PredictedWeight: e.PredictedWeight,
+		Optimal:         e.Optimal,
+		Visited:         e.Visited,
+		Mapping:         mt.String(),
+	})
+}
+
+// decodeEntry unmarshals and validates the shared disk/wire JSON shape
+// against the key it is supposed to hold. Every failure is an error; the
+// callers decide whether that means a tolerated miss (disk tier, Export)
+// or a rejected fill (Import).
+func decodeEntry(raw []byte, key Key) (*Entry, error) {
+	var de diskEntry
+	if err := json.Unmarshal(raw, &de); err != nil {
+		return nil, fmt.Errorf("store: decode entry: %w", err)
+	}
+	if de.Hamiltonian != key.Hamiltonian || de.Spec != key.Spec || de.Options != key.Options {
+		return nil, fmt.Errorf("store: entry key mismatch (have %q/%q/%q)", de.Hamiltonian, de.Spec, de.Options)
+	}
+	m, err := mapping.ReadText(strings.NewReader(de.Mapping))
+	if err != nil {
+		return nil, fmt.Errorf("store: entry mapping: %w", err)
+	}
+	return &Entry{
+		Method:          de.Method,
+		Mapping:         m,
+		PredictedWeight: de.PredictedWeight,
+		Optimal:         de.Optimal,
+		Visited:         de.Visited,
+	}, nil
+}

@@ -1,0 +1,175 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mapping"
+)
+
+// TestAddressRoundTrip pins the address ⇄ Key bijection for every kind of
+// content the three fields can carry, including separators and characters
+// that would be unsafe in a raw URL path.
+func TestAddressRoundTrip(t *testing.T) {
+	keys := []Key{
+		{},
+		{Hamiltonian: "00112233445566778899aabbccddeeff", Spec: "hatt", Options: "v1;bw=0;vb=0"},
+		{Hamiltonian: "ff", Spec: "beam:8", Options: "v1;bw=8;dev=grid:3x3"},
+		{Hamiltonian: "deadbeef", Spec: "spec with spaces", Options: "semi;colons=and/slashes?query#frag"},
+		{Hamiltonian: "a.b.c", Spec: "dots.in.fields", Options: "…unicode…"},
+		{Hamiltonian: strings.Repeat("a", 1024), Spec: "x", Options: "y"},
+	}
+	seen := make(map[string]Key)
+	for _, k := range keys {
+		addr := k.Address()
+		if strings.ContainsAny(addr, "/%?# ") {
+			t.Errorf("Address(%+v) = %q contains URL-unsafe characters", k, addr)
+		}
+		got, err := ParseAddress(addr)
+		if err != nil {
+			t.Fatalf("ParseAddress(Address(%+v)): %v", k, err)
+		}
+		if got != k {
+			t.Errorf("round trip mangled key: %+v -> %q -> %+v", k, addr, got)
+		}
+		if prev, dup := seen[addr]; dup {
+			t.Errorf("address collision: %+v and %+v both map to %q", prev, k, addr)
+		}
+		seen[addr] = k
+	}
+}
+
+// TestAddressDistinctKeysDistinctAddresses guards against ambiguous
+// flattening (the classic "ab"+"c" vs "a"+"bc" bug).
+func TestAddressDistinctKeysDistinctAddresses(t *testing.T) {
+	a := Key{Hamiltonian: "ab", Spec: "c", Options: "d"}
+	b := Key{Hamiltonian: "a", Spec: "bc", Options: "d"}
+	if a.Address() == b.Address() {
+		t.Fatalf("distinct keys share address %q", a.Address())
+	}
+}
+
+func TestParseAddressMalformed(t *testing.T) {
+	bad := []string{
+		"",                      // no segments
+		"onlyone",               // 1 segment
+		"two.segments",          // 2 segments
+		"a.b.c.d",               // 4 segments
+		"!!!.YQ.YQ",             // invalid base64url alphabet
+		"YQ==.YQ.YQ",            // padding is not RawURLEncoding
+		"YQ.YQ.YQ/",             // '/' not in URL-safe alphabet
+		"%2e%2e.YQ.YQ",          // percent escapes are not decoded
+		strings.Repeat(".", 10), // empty segments beyond three
+	}
+	for _, s := range bad {
+		if _, err := ParseAddress(s); err == nil {
+			t.Errorf("ParseAddress(%q): want error, got nil", s)
+		}
+	}
+}
+
+// TestExportImportRoundTrip proves the peer cache-fill path end to end at
+// the store layer: an entry Put on one store Exports to bytes that Import
+// into a second store, which then serves a byte-identical mapping.
+func TestExportImportRoundTrip(t *testing.T) {
+	key := Key{Hamiltonian: "cafe", Spec: "jw", Options: "v1"}
+	entry := &Entry{Method: "jw", Mapping: mapping.JordanWigner(3), PredictedWeight: 7, Visited: 42}
+
+	a, err := Open(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Export(key); ok {
+		t.Fatal("Export on an empty store reported an entry")
+	}
+	a.Put(key, entry)
+	raw, ok := a.Export(key)
+	if !ok {
+		t.Fatal("Export after Put found nothing")
+	}
+
+	b, err := Open(4, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := b.Import(key, raw)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if imported.Method != "jw" || imported.PredictedWeight != 7 || imported.Visited != 42 {
+		t.Errorf("imported scalars mangled: %+v", imported)
+	}
+	got, ok := b.Get(key)
+	if !ok {
+		t.Fatal("Get after Import missed")
+	}
+	var want, have strings.Builder
+	if err := entry.Mapping.WriteText(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Mapping.WriteText(&have); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != have.String() {
+		t.Errorf("mapping not byte-identical across Export/Import:\nwant %q\nhave %q", want.String(), have.String())
+	}
+	// The import persisted to b's disk tier too.
+	if st := b.Stats(); st.DiskWrites != 1 {
+		t.Errorf("Import disk_writes = %d, want 1", st.DiskWrites)
+	}
+}
+
+// TestImportRejectsBadPayloads: a fill must never install garbage.
+func TestImportRejectsBadPayloads(t *testing.T) {
+	key := Key{Hamiltonian: "cafe", Spec: "jw", Options: "v1"}
+	entry := &Entry{Method: "jw", Mapping: mapping.JordanWigner(2)}
+	src, _ := Open(4, "")
+	src.Put(key, entry)
+	raw, _ := src.Export(key)
+
+	dst, _ := Open(4, "")
+	cases := map[string][]byte{
+		"not json":      []byte("not json"),
+		"empty":         nil,
+		"truncated":     raw[:len(raw)/2],
+		"mapping junk":  []byte(`{"hamiltonian":"cafe","spec":"jw","options":"v1","method":"jw","mapping":"junk"}`),
+		"empty mapping": []byte(`{"hamiltonian":"cafe","spec":"jw","options":"v1","method":"jw","mapping":""}`),
+	}
+	for name, payload := range cases {
+		if _, err := dst.Import(key, payload); err == nil {
+			t.Errorf("Import(%s): want error, got nil", name)
+		}
+	}
+	// Key mismatch: valid payload under the wrong address.
+	other := Key{Hamiltonian: "beef", Spec: "jw", Options: "v1"}
+	if _, err := dst.Import(other, raw); err == nil {
+		t.Error("Import under mismatched key: want error, got nil")
+	}
+	if _, ok := dst.Get(key); ok {
+		t.Error("a rejected Import still installed an entry")
+	}
+}
+
+// TestExportServesDiskTier: Export must find entries that are only on
+// disk (e.g. after a restart evicted the memory tier).
+func TestExportServesDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Hamiltonian: "cafe", Spec: "jw", Options: "v1"}
+	first, err := Open(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Put(key, &Entry{Method: "jw", Mapping: mapping.JordanWigner(2)})
+
+	reopened, err := Open(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := reopened.Export(key)
+	if !ok {
+		t.Fatal("Export missed a disk-resident entry")
+	}
+	if _, err := decodeEntry(raw, key); err != nil {
+		t.Fatalf("disk-served export does not decode: %v", err)
+	}
+}

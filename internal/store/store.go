@@ -20,15 +20,12 @@
 package store
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -239,27 +236,12 @@ func (s *Store) loadDisk(id string, key Key) (*Entry, bool) {
 		}
 		return nil, false
 	}
-	var de diskEntry
-	if err := json.Unmarshal(raw, &de); err != nil {
-		s.diskErr.Add(1)
-		return nil, false
-	}
-	if de.Hamiltonian != key.Hamiltonian || de.Spec != key.Spec || de.Options != key.Options {
-		s.diskErr.Add(1)
-		return nil, false
-	}
-	m, err := mapping.ReadText(strings.NewReader(de.Mapping))
+	e, err := decodeEntry(raw, key)
 	if err != nil {
 		s.diskErr.Add(1)
 		return nil, false
 	}
-	return &Entry{
-		Method:          de.Method,
-		Mapping:         m,
-		PredictedWeight: de.PredictedWeight,
-		Optimal:         de.Optimal,
-		Visited:         de.Visited,
-	}, true
+	return e, true
 }
 
 // writeDisk persists an entry with create-temp-then-rename atomicity.
@@ -269,21 +251,7 @@ func (s *Store) writeDisk(id string, key Key, e *Entry) {
 	if s.dir == "" {
 		return
 	}
-	var mt bytes.Buffer
-	if err := e.Mapping.WriteText(&mt); err != nil {
-		s.diskErr.Add(1)
-		return
-	}
-	raw, err := json.Marshal(diskEntry{
-		Hamiltonian:     key.Hamiltonian,
-		Spec:            key.Spec,
-		Options:         key.Options,
-		Method:          e.Method,
-		PredictedWeight: e.PredictedWeight,
-		Optimal:         e.Optimal,
-		Visited:         e.Visited,
-		Mapping:         mt.String(),
-	})
+	raw, err := encodeEntry(key, e)
 	if err != nil {
 		s.diskErr.Add(1)
 		return

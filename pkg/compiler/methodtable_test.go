@@ -1,0 +1,75 @@
+package compiler
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMethodTableMatchesRegistry holds the human-facing table to the
+// live registry: same set of specs, no placeholder descriptions, no
+// stale rows for methods that no longer exist.
+func TestMethodTableMatchesRegistry(t *testing.T) {
+	table := MethodTable()
+	names := Methods()
+	if len(table) != len(names) {
+		t.Fatalf("MethodTable has %d rows, registry has %d methods", len(table), len(names))
+	}
+	for i, mi := range table {
+		if mi.Spec != names[i] {
+			t.Errorf("row %d: spec %q, want %q (registry order)", i, mi.Spec, names[i])
+		}
+		if mi.Description == "" || strings.Contains(mi.Description, "undescribed method") {
+			t.Errorf("method %q has no real description", mi.Spec)
+		}
+		if mi.Param != "" && !strings.HasPrefix(mi.Param, mi.Spec+":") {
+			t.Errorf("method %q: param form %q does not extend the spec", mi.Spec, mi.Param)
+		}
+	}
+	for name := range methodDescriptions {
+		if _, err := Resolve(name); err != nil {
+			t.Errorf("methodDescriptions has a row for %q, which is not registered", name)
+		}
+	}
+}
+
+// methodTableMarkdown renders the README's method table from
+// MethodTable — the same rows `hattc -list` prints.
+func methodTableMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| Spec | Method |\n|---|---|\n")
+	for _, mi := range MethodTable() {
+		spec := "`" + mi.Spec + "`"
+		if mi.Param != "" {
+			spec += ", `" + mi.Param + "`"
+		}
+		fmt.Fprintf(&b, "| %s | %s |\n", spec, mi.Description)
+	}
+	return b.String()
+}
+
+// TestReadmeMethodTable is the golden sync check: the block between the
+// methods:begin/end markers in README.md must be exactly the markdown
+// rendering of MethodTable. Registering, renaming, or re-describing a
+// method without regenerating the README fails the build; the failure
+// message carries the expected block to paste in.
+func TestReadmeMethodTable(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatalf("README.md unreadable: %v", err)
+	}
+	const begin, end = "<!-- methods:begin -->", "<!-- methods:end -->"
+	readme := string(raw)
+	i := strings.Index(readme, begin)
+	j := strings.Index(readme, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %s / %s markers", begin, end)
+	}
+	got := strings.TrimSpace(readme[i+len(begin) : j])
+	want := strings.TrimSpace(methodTableMarkdown())
+	if got != want {
+		t.Errorf("README method table is out of sync with compiler.MethodTable().\nWant between the markers:\n\n%s\n\nGot:\n\n%s", want, got)
+	}
+}
