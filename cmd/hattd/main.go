@@ -16,6 +16,7 @@
 //	GET    /v1/devices          device catalog
 //	GET    /v1/store/{address}  fleet peer cache-fill (stored entry by content address)
 //	GET    /v1/healthz          liveness + version
+//	GET    /v1/readyz           readiness (503 + reasons while degraded)
 //	GET    /v1/stats            cache/fleet counters and queue depth
 //	GET    /debug/vars          the same stats via expvar
 //
@@ -42,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -71,12 +73,28 @@ func run() error {
 	fleetConfig := flag.String("fleet-config", "", "JSON fleet topology file ({self, peers, timeout_ms, retries}); overrides -self/-peers")
 	peerTimeout := flag.Duration("peer-timeout", fleet.DefaultTimeout, "per-attempt budget for one peer cache-fill fetch")
 	peerRetries := flag.Int("peer-retries", fleet.DefaultRetries, "extra attempts per failing peer fetch before falling back")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent synchronous compiles before shedding 429 (0 = 4×GOMAXPROCS)")
+	faultPlan := flag.String("fault-plan", "", "arm a failpoint injection plan (chaos testing; also "+fault.EnvVar+" env)")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println(version.String("hattd"))
 		return nil
+	}
+
+	// Fault injection arms before anything that can hit a failpoint. The
+	// flag wins over the environment so a supervisor-exported plan can be
+	// overridden per invocation.
+	if *faultPlan != "" {
+		if err := fault.Arm(*faultPlan); err != nil {
+			return err
+		}
+	} else if _, err := fault.ArmFromEnv(); err != nil {
+		return err
+	}
+	if plan := fault.Active(); plan != "" {
+		fmt.Printf("hattd: fault plan armed: %s\n", plan)
 	}
 
 	st, err := store.Open(*storeCap, *storeDir)
@@ -116,6 +134,7 @@ func run() error {
 	apiOpts := []service.APIOption{
 		service.WithMaxModes(*maxModes),
 		service.WithSyncTimeout(*syncTimeout),
+		service.WithMaxInFlight(*maxInFlight),
 	}
 	if fleetStore != nil {
 		apiOpts = append(apiOpts, service.WithFleet(fleetStore))

@@ -1,7 +1,7 @@
-// Command hattlint is the repository's multichecker: it runs the six
+// Command hattlint is the repository's multichecker: it runs the seven
 // invariant-enforcing analysis passes (noalloc, detrand, ctxflow,
-// locksafe, apierr, pkgdoc) plus the lint-ignore hygiene check over the
-// named packages and exits non-zero on any finding.
+// locksafe, apierr, pkgdoc, faultsafe) plus the lint-ignore hygiene
+// check over the named packages and exits non-zero on any finding.
 //
 // Usage:
 //
@@ -23,6 +23,7 @@ import (
 	"repro/internal/analysis/apierr"
 	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/faultsafe"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/locksafe"
 	"repro/internal/analysis/noalloc"
@@ -37,6 +38,7 @@ var analyzers = []*framework.Analyzer{
 	locksafe.Analyzer,
 	apierr.Analyzer,
 	pkgdoc.Analyzer,
+	faultsafe.Analyzer,
 }
 
 func main() {

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -147,13 +148,35 @@ type report struct {
 	Phases    []phaseResult `json:"phases"`
 	TotalReqs int           `json:"total_requests"`
 	TotalErrs int           `json:"total_errors"`
+	Chaos     *chaosReport  `json:"chaos,omitempty"`
 }
+
+// chaosReport is the -chaos block of the report: how much backpressure
+// the run absorbed and what each target's readiness probe said once the
+// storm was over.
+type chaosReport struct {
+	BackpressureRetries int64          `json:"backpressure_retries"`
+	Readyz              map[string]int `json:"readyz"`
+}
+
+// chaosState accumulates backpressure accounting across workers.
+type chaosState struct {
+	retries atomic.Int64 // 429/503 responses retried after their Retry-After
+}
+
+// Client-side backpressure contract for -chaos runs: bounded retries,
+// Retry-After honored but capped so one pathological header cannot
+// stall a worker for the whole phase.
+const (
+	chaosMaxRetries    = 5
+	chaosMaxRetryDelay = 2 * time.Second
+)
 
 // runPhase drives one closed-loop phase: `concurrency` workers each
 // issue a request, wait for the response, and repeat until the phase
 // deadline. Targets are consulted round-robin by request index, so a
 // multi-node fleet sees interleaved traffic and cross-node cache fills.
-func runPhase(ctx context.Context, client *http.Client, targets []string, m *mix, concurrency int, duration time.Duration) phaseResult {
+func runPhase(ctx context.Context, client *http.Client, targets []string, m *mix, concurrency int, duration time.Duration, cs *chaosState) phaseResult {
 	ctx, cancel := context.WithTimeout(ctx, duration)
 	defer cancel()
 
@@ -178,7 +201,15 @@ func runPhase(ctx context.Context, client *http.Client, targets []string, m *mix
 				}
 				target := targets[i%uint64(len(targets))]
 				t0 := time.Now()
-				cached, err := postCompile(ctx, client, target, body)
+				var (
+					cached bool
+					err    error
+				)
+				if cs != nil {
+					cached, err = postCompileChaos(ctx, client, target, body, cs)
+				} else {
+					cached, err = postCompile(ctx, client, target, body)
+				}
 				if ctx.Err() != nil {
 					return // deadline mid-request: do not count the cut-off request
 				}
@@ -216,27 +247,84 @@ func runPhase(ctx context.Context, client *http.Client, targets []string, m *mix
 // daemon served it from cache. Any non-200 status is an error for load
 // accounting (the generator only sends well-formed requests).
 func postCompile(ctx context.Context, client *http.Client, target string, body []byte) (cached bool, err error) {
+	cached, _, _, err = postCompileOnce(ctx, client, target, body)
+	return cached, err
+}
+
+// postCompileChaos is postCompile under the documented client contract
+// for backpressure: a 429 or 503 honors the server's Retry-After
+// (capped at chaosMaxRetryDelay) and retries up to chaosMaxRetries
+// times. A request that eventually succeeds is not a client error —
+// shedding worked; only exhausted retries count against the run.
+func postCompileChaos(ctx context.Context, client *http.Client, target string, body []byte, cs *chaosState) (bool, error) {
+	for attempt := 0; ; attempt++ {
+		cached, status, retryAfter, err := postCompileOnce(ctx, client, target, body)
+		backpressure := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		if err == nil || !backpressure || attempt >= chaosMaxRetries {
+			return cached, err
+		}
+		cs.retries.Add(1)
+		delay := retryAfter
+		if delay <= 0 {
+			delay = 100 * time.Millisecond
+		}
+		if delay > chaosMaxRetryDelay {
+			delay = chaosMaxRetryDelay
+		}
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// postCompileOnce issues exactly one compile attempt, surfacing the
+// status code and any Retry-After guidance so callers can implement
+// retry policy.
+func postCompileOnce(ctx context.Context, client *http.Client, target string, body []byte) (cached bool, status int, retryAfter time.Duration, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/compile", bytes.NewReader(body))
 	if err != nil {
-		return false, err
+		return false, 0, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, err
+		return false, 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
-		return false, fmt.Errorf("%s: status %d", target, resp.StatusCode)
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if sec, perr := strconv.Atoi(s); perr == nil && sec > 0 {
+				retryAfter = time.Duration(sec) * time.Second
+			}
+		}
+		return false, resp.StatusCode, retryAfter, fmt.Errorf("%s: status %d", target, resp.StatusCode)
 	}
 	var out struct {
 		Cached bool `json:"cached"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return false, fmt.Errorf("%s: bad response: %v", target, err)
+		return false, resp.StatusCode, 0, fmt.Errorf("%s: bad response: %v", target, err)
 	}
-	return out.Cached, nil
+	return out.Cached, http.StatusOK, 0, nil
+}
+
+// getStatus issues a GET and returns the response status, draining the
+// body. Used for the end-of-run readiness sweep.
+func getStatus(ctx context.Context, client *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode, nil
 }
 
 // summarize computes the latency digest. The input is consumed (sorted

@@ -189,7 +189,7 @@ func TestRunPhase(t *testing.T) {
 	m := mustMix(t, 1.0, 1) // all hits: no compile cost in the fake
 	client := &http.Client{Timeout: 5 * time.Second}
 
-	ph := runPhase(context.Background(), client, []string{srv.URL}, m, 4, 300*time.Millisecond)
+	ph := runPhase(context.Background(), client, []string{srv.URL}, m, 4, 300*time.Millisecond, nil)
 	if ph.Requests == 0 {
 		t.Fatal("phase recorded no requests")
 	}
@@ -223,7 +223,7 @@ func TestRunPhaseCountsErrors(t *testing.T) {
 	t.Cleanup(srv.Close)
 	m := mustMix(t, 1.0, 1)
 	client := &http.Client{Timeout: 5 * time.Second}
-	ph := runPhase(context.Background(), client, []string{srv.URL}, m, 2, 200*time.Millisecond)
+	ph := runPhase(context.Background(), client, []string{srv.URL}, m, 2, 200*time.Millisecond, nil)
 	if ph.Requests == 0 || ph.Errors != ph.Requests {
 		t.Errorf("errors = %d of %d requests, want all errored", ph.Errors, ph.Requests)
 	}
@@ -252,5 +252,42 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if back.Phases[0].Latency.P99 != 2 || back.TotalReqs != 10 {
 		t.Errorf("report did not round-trip: %+v", back)
+	}
+}
+
+// TestChaosBackpressureRetry pins the -chaos client contract: 429/503
+// responses are retried (tallied per retry) and an eventual success is
+// not an error, while genuine 4xx failures are surfaced immediately.
+func TestChaosBackpressureRetry(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= 2 {
+			http.Error(w, `{"error":"shed","status":429}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"cached": true})
+	}))
+	t.Cleanup(srv.Close)
+	cs := &chaosState{}
+	client := &http.Client{Timeout: 5 * time.Second}
+	cached, err := postCompileChaos(context.Background(), client, srv.URL, []byte(`{"model":"h2"}`), cs)
+	if err != nil || !cached {
+		t.Fatalf("chaos retry: cached=%v err=%v", cached, err)
+	}
+	if got := cs.retries.Load(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"bad","status":400}`, http.StatusBadRequest)
+	}))
+	t.Cleanup(bad.Close)
+	before := cs.retries.Load()
+	if _, err := postCompileChaos(context.Background(), client, bad.URL, []byte(`{}`), cs); err == nil {
+		t.Fatal("400 retried as backpressure")
+	}
+	if cs.retries.Load() != before {
+		t.Fatal("non-backpressure error consumed a retry")
 	}
 }

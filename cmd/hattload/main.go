@@ -18,6 +18,15 @@
 // the next request: measured RPS is what the service actually sustains
 // at that concurrency, not an open-loop arrival rate. See
 // docs/operations.md for how to read the report.
+//
+// With -chaos the generator becomes a chaos-drill client, meant to run
+// against a fleet with an armed failpoint plan (hattd -fault-plan): 429
+// and 503 responses are treated as backpressure — the Retry-After
+// header is honored (capped at 2s) for up to 5 retries before a request
+// counts as an error — and after the last phase every target's
+// /v1/readyz must answer 200. The report gains a "chaos" block with the
+// retry count and per-target readiness; residual errors or a degraded
+// node make the run exit nonzero.
 package main
 
 import (
@@ -50,6 +59,7 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "stream seed; same flags + same seed = identical request sequence")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request budget")
 	warm := flag.Bool("warm", true, "issue each hit combo once before measuring, so hits are hits")
+	chaos := flag.Bool("chaos", false, "chaos-drill mode: retry 429/503 per Retry-After, then require readyz 200 on every target")
 	out := flag.String("out", "BENCH_load.json", "report path (- for stdout)")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
@@ -74,12 +84,22 @@ func run() error {
 
 	client := &http.Client{Timeout: *timeout}
 	ctx := context.Background()
+	var cs *chaosState
+	if *chaos {
+		cs = &chaosState{}
+	}
 
 	if *warm {
 		combos := gen.hitCombos()
 		fmt.Fprintf(os.Stderr, "hattload: warming %d combos against %s\n", len(combos), targetList[0])
 		for _, body := range combos {
-			if _, err := postCompile(ctx, client, targetList[0], body); err != nil {
+			var err error
+			if cs != nil {
+				_, err = postCompileChaos(ctx, client, targetList[0], body, cs)
+			} else {
+				_, err = postCompile(ctx, client, targetList[0], body)
+			}
+			if err != nil {
 				return fmt.Errorf("warmup: %w", err)
 			}
 		}
@@ -97,12 +117,32 @@ func run() error {
 	}
 	for _, c := range ramp {
 		fmt.Fprintf(os.Stderr, "hattload: phase c=%d for %s\n", c, *duration)
-		ph := runPhase(ctx, client, targetList, gen, c, *duration)
+		ph := runPhase(ctx, client, targetList, gen, c, *duration, cs)
 		fmt.Fprintf(os.Stderr, "hattload:   %d reqs, %d errors, %.1f rps, p50 %.2fms p99 %.2fms\n",
 			ph.Requests, ph.Errors, ph.RPS, ph.Latency.P50, ph.Latency.P99)
 		rep.Phases = append(rep.Phases, ph)
 		rep.TotalReqs += ph.Requests
 		rep.TotalErrs += ph.Errors
+	}
+
+	// The chaos verdict: the storm is over, so every target must report
+	// ready — breakers re-closed, disk tier healed, nothing draining.
+	var degraded []string
+	if cs != nil {
+		cr := &chaosReport{BackpressureRetries: cs.retries.Load(), Readyz: make(map[string]int)}
+		for _, target := range targetList {
+			code, err := getStatus(ctx, client, target+"/v1/readyz")
+			if err != nil {
+				return fmt.Errorf("chaos readyz sweep: %w", err)
+			}
+			cr.Readyz[target] = code
+			if code != http.StatusOK {
+				degraded = append(degraded, target)
+			}
+		}
+		rep.Chaos = cr
+		fmt.Fprintf(os.Stderr, "hattload: chaos: %d backpressure retries, readyz %v\n",
+			cr.BackpressureRetries, cr.Readyz)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -111,12 +151,22 @@ func run() error {
 	}
 	enc = append(enc, '\n')
 	if *out == "-" {
-		_, err = os.Stdout.Write(enc)
-		return err
+		if _, err = os.Stdout.Write(enc); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hattload: report written to %s\n", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		return err
+	if cs != nil {
+		if rep.TotalErrs > 0 {
+			return fmt.Errorf("chaos: %d requests failed after retries", rep.TotalErrs)
+		}
+		if len(degraded) > 0 {
+			return fmt.Errorf("chaos: still degraded after the run: %v", degraded)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "hattload: report written to %s\n", *out)
 	return nil
 }

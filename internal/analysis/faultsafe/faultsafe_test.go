@@ -1,0 +1,13 @@
+package faultsafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/faultsafe"
+)
+
+func TestFaultsafe(t *testing.T) {
+	analysistest.Run(t, faultsafe.Analyzer, filepath.Join("testdata", "a"))
+}

@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit-breaker defaults for Config's zero fields.
+const (
+	// DefaultBreakerThreshold is how many consecutive failed attempts
+	// against one peer open its breaker.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerBackoff is the first open interval; each re-open
+	// doubles it (with jitter) up to DefaultBreakerMaxBackoff.
+	DefaultBreakerBackoff    = 500 * time.Millisecond
+	DefaultBreakerMaxBackoff = 30 * time.Second
+)
+
+// breakerState is the classic three-state circuit-breaker machine.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // traffic flows
+	breakerOpen                         // refusing until the backoff deadline
+	breakerHalfOpen                     // one probe in flight decides
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerStats is one peer's breaker snapshot, exported through the
+// /v1/stats fleet block so chaos runs (and operators) can watch the
+// open → half_open → closed lifecycle.
+type BreakerStats struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Opens               int64  `json:"opens"`      // closed/half_open → open transitions
+	HalfOpens           int64  `json:"half_opens"` // open → half_open (probe admitted)
+	Closes              int64  `json:"closes"`     // half_open → closed (probe succeeded)
+}
+
+// breaker guards one peer. Consecutive failures past the threshold open
+// it; while open every attempt is refused without touching the network;
+// once the jittered exponential backoff expires the next attempt is
+// admitted as a half-open probe whose outcome either closes the breaker
+// or re-opens it with a doubled backoff.
+//
+// The breaker never sleeps — "open" is a deadline compared against the
+// clock on each attempt — so it adds no blocking to the fetch path and
+// needs no background goroutine.
+type breaker struct {
+	threshold int
+	base, max time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu        sync.Mutex
+	state     breakerState
+	fails     int           // consecutive failures while closed
+	backoff   time.Duration // current open interval (pre-jitter)
+	openUntil time.Time
+	probing   bool   // a half-open probe is in flight
+	jitter    uint64 // deterministic jitter stream, seeded per peer
+
+	opens, halfOpens, closes int64
+}
+
+func newBreaker(peer string, threshold int, base, max time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		base:      base,
+		max:       max,
+		now:       time.Now,
+		jitter:    fnv64(peer),
+	}
+}
+
+// allow reports whether an attempt against this peer may proceed. It
+// may transition open → half_open as a side effect; the caller must
+// follow every admitted attempt with exactly one of onSuccess,
+// onFailure, or onCancel.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Before(b.openUntil) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.halfOpens++
+		b.probing = true
+		return true
+	default: // half-open: exactly one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records a healthy exchange (2xx fill or a definitive 404)
+// and closes a probing breaker.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.backoff = 0
+		b.closes++
+	}
+}
+
+// onFailure records a failed attempt: transport error, 5xx, or an
+// unverifiable payload. A failed half-open probe re-opens immediately
+// with the next (doubled) backoff.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// onCancel releases an admitted attempt whose caller went away before
+// the peer answered. The peer is not blamed and a half-open probe slot
+// is handed back.
+func (b *breaker) onCancel() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// trip opens the breaker (mu held) with the next jittered deadline.
+func (b *breaker) trip() {
+	if b.backoff == 0 {
+		b.backoff = b.base
+	} else if b.backoff < b.max {
+		b.backoff *= 2
+		if b.backoff > b.max {
+			b.backoff = b.max
+		}
+	}
+	b.state = breakerOpen
+	b.fails = 0
+	b.opens++
+	b.openUntil = b.now().Add(b.jittered(b.backoff))
+}
+
+// jittered spreads a backoff across [0.75, 1.25)·d so a fleet of nodes
+// that lost the same peer does not retry it in lockstep. The jitter
+// stream is splitmix64 seeded by the peer name: deterministic per node
+// (replays identically under test) but decorrelated across peers.
+func (b *breaker) jittered(d time.Duration) time.Duration {
+	b.jitter = splitmix64(b.jitter)
+	frac := 0.75 + 0.5*float64(b.jitter%1024)/1024
+	return time.Duration(float64(d) * frac)
+}
+
+// snapshot exports the breaker for Stats.
+func (b *breaker) snapshot() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	state := b.state
+	// An expired open interval is half-open in spirit: the next attempt
+	// will be admitted as a probe. Report it as such so a quiesced node
+	// (no traffic to trigger the lazy transition) still reads as
+	// recovering rather than stuck open.
+	if state == breakerOpen && !b.now().Before(b.openUntil) {
+		state = breakerHalfOpen
+	}
+	return BreakerStats{
+		State:               state.String(),
+		ConsecutiveFailures: b.fails,
+		Opens:               b.opens,
+		HalfOpens:           b.halfOpens,
+		Closes:              b.closes,
+	}
+}
+
+// fnv64 hashes a peer name (FNV-1a) to seed its jitter stream.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the shared deterministic mixer (same as hattload and
+// internal/fault), used here for breaker jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

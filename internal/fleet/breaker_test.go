@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func testBreaker(threshold int, base, max time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker("http://peer:7707", threshold, base, max)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Second, time.Minute)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.onFailure()
+	}
+	if s := b.snapshot(); s.State != "closed" || s.ConsecutiveFailures != 2 {
+		t.Fatalf("below threshold: %+v", s)
+	}
+	b.allow()
+	b.onFailure() // third consecutive failure: trip
+	if s := b.snapshot(); s.State != "open" || s.Opens != 1 {
+		t.Fatalf("at threshold: %+v", s)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted traffic inside the backoff window")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := testBreaker(3, time.Second, time.Minute)
+	b.allow()
+	b.onFailure()
+	b.allow()
+	b.onFailure()
+	b.allow()
+	b.onSuccess() // streak broken: consecutive, not cumulative
+	b.allow()
+	b.onFailure()
+	if s := b.snapshot(); s.State != "closed" || s.ConsecutiveFailures != 1 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, clk := testBreaker(1, time.Second, time.Minute)
+	b.allow()
+	b.onFailure() // threshold 1: open immediately
+	if b.allow() {
+		t.Fatal("admitted during backoff")
+	}
+	clk.advance(2 * time.Second) // jitter is at most 1.25·base
+	if !b.allow() {
+		t.Fatal("expired backoff did not admit a probe")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted while half-open")
+	}
+	b.onSuccess()
+	s := b.snapshot()
+	if s.State != "closed" || s.Opens != 1 || s.HalfOpens != 1 || s.Closes != 1 {
+		t.Fatalf("after successful probe: %+v", s)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker refusing traffic")
+	}
+}
+
+func TestBreakerFailedProbeReopensWithLongerBackoff(t *testing.T) {
+	b, clk := testBreaker(1, time.Second, time.Minute)
+	b.allow()
+	b.onFailure()
+	clk.advance(2 * time.Second)
+	b.allow()     // probe
+	b.onFailure() // probe fails: reopen, backoff doubles
+	s := b.snapshot()
+	if s.State != "open" || s.Opens != 2 || s.Closes != 0 {
+		t.Fatalf("after failed probe: %+v", s)
+	}
+	if b.backoff != 2*time.Second {
+		t.Fatalf("backoff = %v, want doubled to 2s", b.backoff)
+	}
+	// 1.5s is inside even the shortest jittered 2s window (0.75·2s).
+	clk.advance(1499 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("reopened breaker admitted traffic before the doubled backoff")
+	}
+	// The cap holds: repeated failed probes never exceed max.
+	for i := 0; i < 20; i++ {
+		clk.advance(2 * time.Minute)
+		b.allow()
+		b.onFailure()
+	}
+	if b.backoff > time.Minute {
+		t.Fatalf("backoff %v exceeded the cap", b.backoff)
+	}
+}
+
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Second, time.Minute)
+	b.allow()
+	b.onFailure()
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.onCancel() // caller went away: slot returns, no verdict
+	if !b.allow() {
+		t.Fatal("cancelled probe slot was not released")
+	}
+	b.onSuccess()
+	if s := b.snapshot(); s.State != "closed" || s.Opens != 1 {
+		t.Fatalf("after cancel+success: %+v", s)
+	}
+}
+
+func TestBreakerJitterIsBoundedAndDeterministic(t *testing.T) {
+	a := newBreaker("http://a:1", 1, time.Second, time.Minute)
+	b := newBreaker("http://a:1", 1, time.Second, time.Minute)
+	c := newBreaker("http://b:2", 1, time.Second, time.Minute)
+	var sawDiff bool
+	for i := 0; i < 64; i++ {
+		ja, jb, jc := a.jittered(time.Second), b.jittered(time.Second), c.jittered(time.Second)
+		if ja != jb {
+			t.Fatalf("same peer, same step %d: %v != %v", i, ja, jb)
+		}
+		if ja < 750*time.Millisecond || ja >= 1250*time.Millisecond {
+			t.Fatalf("jitter %v outside [0.75s, 1.25s)", ja)
+		}
+		if ja != jc {
+			sawDiff = true
+		}
+	}
+	if !sawDiff {
+		t.Fatal("distinct peers share an identical jitter stream")
+	}
+}

@@ -10,10 +10,15 @@
 //
 // The fleet degrades, never fails: a down, slow, or cold peer costs one
 // bounded fetch (Config.Timeout per attempt, Config.Retries extra
-// attempts) and the node falls back to compiling locally. There is no
-// membership protocol and no coordination traffic — the ring is derived
-// deterministically from static configuration, so every node agrees on
-// ownership from its flags alone.
+// attempts) and the node falls back to compiling locally. A peer that
+// keeps failing trips a per-peer circuit breaker — consecutive failures
+// past Config.BreakerThreshold stop the node dialing it at all, and a
+// jittered exponential backoff with a single half-open probe decides
+// when it may carry traffic again — so a dead peer costs a handful of
+// timeouts once, not one per request. There is no membership protocol
+// and no coordination traffic — the ring is derived deterministically
+// from static configuration, so every node agrees on ownership from its
+// flags alone.
 package fleet
 
 import (
@@ -29,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/store"
 )
 
@@ -57,14 +63,24 @@ type Config struct {
 	// the next peer (or local compilation) takes over. Negative means 0;
 	// zero means DefaultRetries.
 	Retries int
+	// BreakerThreshold is how many consecutive failures open a peer's
+	// circuit breaker. Zero or negative means DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerBackoff is the first open interval; each re-open doubles it
+	// (jittered) up to BreakerMaxBackoff. Zeros mean the defaults.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
 }
 
 // fileConfig is the JSON shape of a -fleet-config file.
 type fileConfig struct {
-	Self      string   `json:"self"`
-	Peers     []string `json:"peers"`
-	TimeoutMS int64    `json:"timeout_ms,omitempty"`
-	Retries   *int     `json:"retries,omitempty"`
+	Self                string   `json:"self"`
+	Peers               []string `json:"peers"`
+	TimeoutMS           int64    `json:"timeout_ms,omitempty"`
+	Retries             *int     `json:"retries,omitempty"`
+	BreakerThreshold    int      `json:"breaker_threshold,omitempty"`
+	BreakerBackoffMS    int64    `json:"breaker_backoff_ms,omitempty"`
+	BreakerMaxBackoffMS int64    `json:"breaker_max_backoff_ms,omitempty"`
 }
 
 // LoadConfigFile reads a fleet topology from a JSON file:
@@ -86,7 +102,14 @@ func LoadConfigFile(path string) (Config, error) {
 	if err := dec.Decode(&fc); err != nil {
 		return Config{}, fmt.Errorf("fleet: config %s: %w", path, err)
 	}
-	cfg := Config{Self: fc.Self, Peers: fc.Peers, Timeout: time.Duration(fc.TimeoutMS) * time.Millisecond}
+	cfg := Config{
+		Self:              fc.Self,
+		Peers:             fc.Peers,
+		Timeout:           time.Duration(fc.TimeoutMS) * time.Millisecond,
+		BreakerThreshold:  fc.BreakerThreshold,
+		BreakerBackoff:    time.Duration(fc.BreakerBackoffMS) * time.Millisecond,
+		BreakerMaxBackoff: time.Duration(fc.BreakerMaxBackoffMS) * time.Millisecond,
+	}
 	if fc.Retries != nil {
 		cfg.Retries = *fc.Retries
 		if cfg.Retries <= 0 {
@@ -125,11 +148,13 @@ func validatePeer(p string) error {
 
 // Stats is a point-in-time snapshot of the fleet layer's counters.
 type Stats struct {
-	Self      string   `json:"self,omitempty"`
-	Peers     []string `json:"peers"`
-	PeerHits  int64    `json:"peer_hits"`   // entries filled from a peer
-	PeerMiss  int64    `json:"peer_misses"` // fan-outs where no peer held the entry
-	PeerError int64    `json:"peer_errors"` // failed fetch attempts (timeouts, 5xx, bad payloads)
+	Self      string                  `json:"self,omitempty"`
+	Peers     []string                `json:"peers"`
+	PeerHits  int64                   `json:"peer_hits"`   // entries filled from a peer
+	PeerMiss  int64                   `json:"peer_misses"` // fan-outs where no peer held the entry
+	PeerError int64                   `json:"peer_errors"` // failed fetch attempts (timeouts, 5xx, bad payloads)
+	PeerSkips int64                   `json:"peer_skips"`  // attempts refused locally by an open breaker
+	Breakers  map[string]BreakerStats `json:"breakers"`    // per-peer circuit-breaker state
 }
 
 // Store wraps a node's local content-addressed store with peer
@@ -144,13 +169,14 @@ type Stats struct {
 //	Put: local only. Fill is pull-based; entries propagate to the nodes
 //	     that actually see demand for them.
 type Store struct {
-	local   *store.Store
-	ring    *Ring
-	self    string
-	client  *http.Client
-	retries int
+	local    *store.Store
+	ring     *Ring
+	self     string
+	client   *http.Client
+	retries  int
+	breakers map[string]*breaker // fixed key set after NewStore; values self-synchronize
 
-	peerHits, peerMiss, peerErr atomic.Int64
+	peerHits, peerMiss, peerErr, peerSkips atomic.Int64
 }
 
 // NewStore builds the fleet wrapper over a local store. An empty peer
@@ -184,12 +210,32 @@ func NewStore(local *store.Store, cfg Config) (*Store, error) {
 	case retries == 0:
 		retries = DefaultRetries
 	}
+	threshold := cfg.BreakerThreshold
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	backoff := cfg.BreakerBackoff
+	if backoff <= 0 {
+		backoff = DefaultBreakerBackoff
+	}
+	maxBackoff := cfg.BreakerMaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultBreakerMaxBackoff
+	}
+	if maxBackoff < backoff {
+		maxBackoff = backoff
+	}
+	breakers := make(map[string]*breaker, len(others))
+	for _, p := range others {
+		breakers[p] = newBreaker(p, threshold, backoff, maxBackoff)
+	}
 	return &Store{
-		local:   local,
-		ring:    NewRing(others),
-		self:    cfg.Self,
-		client:  &http.Client{Timeout: timeout},
-		retries: retries,
+		local:    local,
+		ring:     NewRing(others),
+		self:     cfg.Self,
+		client:   &http.Client{Timeout: timeout},
+		retries:  retries,
+		breakers: breakers,
 	}, nil
 }
 
@@ -198,48 +244,97 @@ func NewStore(local *store.Store, cfg Config) (*Store, error) {
 // never by re-fanning out).
 func (f *Store) Local() *store.Store { return f.local }
 
-// Get consults the local tiers, then the fleet.
+// Get consults the local tiers, then the fleet. It satisfies the
+// context-free compiler.Store surface; callers that hold a request
+// context should use GetContext so a disconnecting client aborts the
+// peer fan-out.
 func (f *Store) Get(key store.Key) (*store.Entry, bool) {
+	//hatt:lint-ignore ctxflow context-free compiler.Store entry point; GetContext is the ctx-aware path
+	return f.GetContext(context.Background(), key)
+}
+
+// GetContext is Get with the caller's context threaded through the peer
+// fan-out: every fetch runs under the per-attempt timeout layered onto
+// ctx, so a cancelled request stops dialing peers immediately instead
+// of finishing the fill on the caller's corpse.
+func (f *Store) GetContext(ctx context.Context, key store.Key) (*store.Entry, bool) {
 	if e, ok := f.local.Get(key); ok {
 		return e, true
 	}
-	return f.fill(key)
+	return f.fill(ctx, key)
 }
 
 // Put stores locally. (Pull-based fill: peers that want the entry will
 // come and get it.)
 func (f *Store) Put(key store.Key, entry *store.Entry) { f.local.Put(key, entry) }
 
-// Stats snapshots the fleet counters.
+// Stats snapshots the fleet counters, including each peer's breaker.
 func (f *Store) Stats() Stats {
+	breakers := make(map[string]BreakerStats, len(f.breakers))
+	for peer, b := range f.breakers {
+		breakers[peer] = b.snapshot()
+	}
 	return Stats{
 		Self:      f.self,
 		Peers:     f.ring.Peers(),
 		PeerHits:  f.peerHits.Load(),
 		PeerMiss:  f.peerMiss.Load(),
 		PeerError: f.peerErr.Load(),
+		PeerSkips: f.peerSkips.Load(),
+		Breakers:  breakers,
 	}
+}
+
+// OpenBreakers lists peers whose breaker is currently refusing traffic,
+// for readiness reporting. A half-open (or backoff-expired) breaker is
+// probing its way back and does not count as degraded.
+func (f *Store) OpenBreakers() []string {
+	var open []string
+	for _, peer := range f.ring.Peers() {
+		if f.breakers[peer].snapshot().State == "open" {
+			open = append(open, peer)
+		}
+	}
+	return open
 }
 
 // fill runs the peer cache-fill protocol for one key: candidates in
 // consistent-hash preference order, each given 1+retries bounded
-// attempts; the first verified payload is imported into the local store
-// and returned. 404 means "that peer doesn't have it" and moves on
-// immediately (no retry); transport errors and bad payloads count as
-// peer errors.
-func (f *Store) fill(key store.Key) (*store.Entry, bool) {
+// attempts gated by its circuit breaker; the first verified payload is
+// imported into the local store and returned. 404 means "that peer
+// doesn't have it" and moves on immediately (no retry — and it counts
+// as breaker success, since the peer answered definitively); transport
+// errors, 5xx, and bad payloads count as peer errors and breaker
+// failures. A cancelled caller context aborts the whole fan-out without
+// blaming any peer.
+func (f *Store) fill(ctx context.Context, key store.Key) (*store.Entry, bool) {
 	addr := key.Address()
 	for _, peer := range f.ring.Owners(addr, len(f.ring.Peers())) {
+		br := f.breakers[peer]
 		for attempt := 0; attempt <= f.retries; attempt++ {
-			raw, status, err := f.fetch(peer, addr)
+			if ctx.Err() != nil {
+				return nil, false // caller gone: not a peer miss, nobody's fault
+			}
+			if !br.allow() {
+				f.peerSkips.Add(1)
+				break // breaker open: next peer, no network touched
+			}
+			raw, status, err := f.fetch(ctx, peer, addr)
 			switch {
 			case err != nil:
+				if ctx.Err() != nil {
+					br.onCancel()
+					return nil, false
+				}
 				f.peerErr.Add(1)
+				br.onFailure()
 				continue // retry this peer
 			case status == http.StatusNotFound:
 				// Definitive answer from a healthy peer: move on.
+				br.onSuccess()
 			case status != http.StatusOK:
 				f.peerErr.Add(1)
+				br.onFailure()
 				continue
 			default:
 				e, ierr := f.local.Import(key, raw)
@@ -247,7 +342,9 @@ func (f *Store) fill(key store.Key) (*store.Entry, bool) {
 					// The peer served bytes that don't verify — treat the
 					// peer as broken for this key, try the next one.
 					f.peerErr.Add(1)
+					br.onFailure()
 				} else {
+					br.onSuccess()
 					f.peerHits.Add(1)
 					return e, true
 				}
@@ -259,14 +356,23 @@ func (f *Store) fill(key store.Key) (*store.Entry, bool) {
 	return nil, false
 }
 
-// fetch performs one bounded GET /v1/store/{address} against one peer.
-func (f *Store) fetch(peer, addr string) ([]byte, int, error) {
-	// The wrapped store's Get signature carries no context (it is shared
-	// with in-process callers), so each fetch runs under its own
-	// deadline derived from the configured per-attempt timeout.
-	//hatt:lint-ignore ctxflow per-fetch deadline; Store.Get has no caller context to inherit
-	ctx, cancel := context.WithTimeout(context.Background(), f.client.Timeout)
+// fetch performs one bounded GET /v1/store/{address} against one peer:
+// the caller's context with the configured per-attempt timeout layered
+// on. The fleet.peer.* failpoints live here, on the client side of the
+// exchange, so a chaos plan can stand in for a peer that is
+// unreachable, answering 5xx, slow to stream, or truncating payloads —
+// without needing a broken peer on the wire.
+func (f *Store) fetch(ctx context.Context, peer, addr string) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.client.Timeout)
 	defer cancel()
+	if err := fault.PointCtx(ctx, "fleet.peer.dial"); err != nil {
+		return nil, 0, err
+	}
+	if err := fault.PointCtx(ctx, "fleet.peer.status"); err != nil {
+		// Synthetic upstream 5xx: exercises the same degradation path as
+		// a peer answering 502.
+		return nil, http.StatusBadGateway, nil
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/store/"+addr, nil)
 	if err != nil {
 		return nil, 0, err
@@ -285,5 +391,9 @@ func (f *Store) fetch(peer, addr string) ([]byte, int, error) {
 	if err != nil {
 		return nil, resp.StatusCode, err
 	}
+	if err := fault.PointCtx(ctx, "fleet.peer.body"); err != nil { // slow body
+		return nil, resp.StatusCode, err
+	}
+	raw = fault.Mutate("fleet.peer.body", raw) // truncated payload
 	return raw, resp.StatusCode, nil
 }

@@ -1,14 +1,18 @@
 package fleet
 
 import (
+	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/mapping"
 	"repro/internal/store"
 )
@@ -225,5 +229,200 @@ func TestLoadConfigFile(t *testing.T) {
 	}
 	if _, err := LoadConfigFile(filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("missing config file accepted")
+	}
+}
+
+// TestCancelledContextAbortsFill covers the satellite fix: a peer fetch
+// derives from the caller's context, so a client that hangs up stops
+// the fan-out instead of riding out the full per-attempt timeout
+// schedule against a slow peer.
+func TestCancelledContextAbortsFill(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		http.NotFound(w, r)
+	}))
+	defer close(release)
+	t.Cleanup(slow.Close)
+
+	local, _ := store.Open(8, "")
+	f := mustFleet(t, local, Config{
+		Self:    "http://self",
+		Peers:   []string{slow.URL},
+		Timeout: 10 * time.Second, // never the bound that fires here
+		Retries: 3,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if _, ok := f.GetContext(ctx, testKey("feed")); ok {
+		t.Fatal("cancelled fill produced an entry")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation did not abort the fill (took %v)", elapsed)
+	}
+	// The caller went away; the peer was never at fault.
+	if st := f.Stats(); st.PeerError != 0 || st.PeerMiss != 0 {
+		t.Errorf("cancelled fill blamed the peer: %+v", st)
+	}
+}
+
+// TestBreakerTripsAndRecovers drives the full lifecycle over the wire:
+// a peer that answers 500 until the breaker opens (shielding it from
+// traffic), then heals; after the backoff a half-open probe closes the
+// breaker and fills flow again.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	remote, _ := store.Open(8, "")
+	key := testKey("beef")
+	remote.Put(key, testEntry(3))
+
+	var broken atomic.Bool
+	broken.Store(true)
+	var requests atomic.Int64
+	inner := peerServer(t, remote)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		if broken.Load() {
+			http.Error(w, "injected upstream failure", http.StatusInternalServerError)
+			return
+		}
+		resp, err := http.Get(inner.URL + r.URL.Path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(peer.Close)
+
+	local, _ := store.Open(8, "")
+	f := mustFleet(t, local, Config{
+		Self:             "http://self",
+		Peers:            []string{peer.URL},
+		Retries:          0,
+		BreakerThreshold: 3,
+		BreakerBackoff:   20 * time.Millisecond,
+	})
+
+	for i := 0; i < 3; i++ {
+		if _, ok := f.Get(key); ok {
+			t.Fatal("fill succeeded against a broken peer")
+		}
+	}
+	st := f.Stats()
+	bs := st.Breakers[peer.URL]
+	if bs.Opens != 1 || st.PeerError != 3 {
+		t.Fatalf("after threshold: %+v", st)
+	}
+	if got := f.OpenBreakers(); len(got) != 1 || got[0] != peer.URL {
+		t.Fatalf("OpenBreakers = %v", got)
+	}
+
+	// While open, fills are refused locally: the peer sees no traffic.
+	before := requests.Load()
+	if _, ok := f.Get(key); ok {
+		t.Fatal("open breaker produced a fill")
+	}
+	if requests.Load() != before {
+		t.Fatal("open breaker still dialed the peer")
+	}
+	if st := f.Stats(); st.PeerSkips == 0 {
+		t.Fatalf("no skips recorded: %+v", st)
+	}
+
+	// Peer heals; after the backoff one probe closes the breaker.
+	broken.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := f.Get(key); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never recovered after the peer healed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	bs = f.Stats().Breakers[peer.URL]
+	if bs.State != "closed" || bs.HalfOpens < 1 || bs.Closes != 1 {
+		t.Fatalf("after recovery: %+v", bs)
+	}
+	if got := f.OpenBreakers(); len(got) != 0 {
+		t.Fatalf("OpenBreakers after recovery = %v", got)
+	}
+}
+
+// TestInjectedPeerFaultsDriveBreaker arms a real chaos plan — the same
+// site the chaos smoke uses — and checks a synthetic 5xx burst opens
+// the breaker and then lets it close once the burst is exhausted.
+func TestInjectedPeerFaultsDriveBreaker(t *testing.T) {
+	defer fault.Disarm()
+	remote, _ := store.Open(8, "")
+	key := testKey("fade")
+	remote.Put(key, testEntry(3))
+	peer := peerServer(t, remote)
+
+	local, _ := store.Open(8, "")
+	f := mustFleet(t, local, Config{
+		Self:             "http://self",
+		Peers:            []string{peer.URL},
+		Retries:          0,
+		BreakerThreshold: 2,
+		BreakerBackoff:   10 * time.Millisecond,
+	})
+	if err := fault.Arm("seed=5;fleet.peer.status=error*2"); err != nil {
+		t.Fatal(err)
+	}
+	f.Get(key)
+	f.Get(key)
+	if bs := f.Stats().Breakers[peer.URL]; bs.Opens != 1 {
+		t.Fatalf("synthetic 5xx burst did not open the breaker: %+v", bs)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := f.Get(key); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fill never recovered after the burst")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := fault.Stats()["fleet.peer.status"]; got != 2 {
+		t.Fatalf("fault stats = %d firings, want 2", got)
+	}
+}
+
+// TestTruncatedPeerPayloadRejected arms the torn-body failpoint: a
+// truncated fill payload must fail verification and count as a peer
+// error, never import.
+func TestTruncatedPeerPayloadRejected(t *testing.T) {
+	defer fault.Disarm()
+	remote, _ := store.Open(8, "")
+	key := testKey("dead")
+	remote.Put(key, testEntry(3))
+	peer := peerServer(t, remote)
+
+	local, _ := store.Open(8, "")
+	f := mustFleet(t, local, Config{Self: "http://self", Peers: []string{peer.URL}, Retries: 0})
+	if err := fault.Arm("seed=5;fleet.peer.body=torn:0.6*1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Get(key); ok {
+		t.Fatal("truncated payload imported")
+	}
+	if st := f.Stats(); st.PeerError != 1 {
+		t.Fatalf("stats = %+v, want 1 peer error", st)
+	}
+	// Burst exhausted: the retry fills clean.
+	if _, ok := f.Get(key); !ok {
+		t.Fatal("fill failed after the torn burst ended")
 	}
 }

@@ -9,9 +9,13 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/fault"
 	"repro/internal/fermion"
 	"repro/internal/fleet"
 	"repro/internal/models"
@@ -31,6 +35,13 @@ type API struct {
 	timeout  time.Duration
 	started  time.Time
 
+	// maxInFlight caps concurrent synchronous compiles; excess requests
+	// are shed with 429 + Retry-After instead of queueing behind each
+	// other until every worker thread is pinned.
+	maxInFlight int
+	inflight    atomic.Int64
+	shedSync    atomic.Int64
+
 	// compile is the sync-compile entry point, indirect so tests (and
 	// the request-decoder fuzzer) can stub the expensive part out.
 	compile func(ctx context.Context, req *compileRequest) (*compiler.Result, int, error)
@@ -46,6 +57,15 @@ const (
 	maxAnnealIters    = 100_000_000
 	maxAnnealRestarts = 4096
 	maxParallelism    = 4096
+)
+
+// Retry-After guidance (seconds) attached to shed and draining
+// responses so well-behaved clients back off the right amount: shed
+// work clears in about a queue-drain interval, a draining node needs
+// its replacement to come up.
+const (
+	retryAfterBackpressure = "1"
+	retryAfterDraining     = "5"
 )
 
 // APIOption configures NewAPI.
@@ -79,16 +99,28 @@ func WithFleet(f *fleet.Store) APIOption {
 	return func(a *API) { a.fleet = f }
 }
 
+// WithMaxInFlight caps how many synchronous /v1/compile requests run
+// concurrently; requests beyond the cap are shed with 429 and a
+// Retry-After header (≤ 0 keeps the default, 4 × GOMAXPROCS).
+func WithMaxInFlight(n int) APIOption {
+	return func(a *API) {
+		if n > 0 {
+			a.maxInFlight = n
+		}
+	}
+}
+
 // NewAPI wires the HTTP surface over a job manager and an optional
 // store (the same one the manager's jobs consult, surfaced in
 // /v1/stats).
 func NewAPI(mgr *Manager, st *store.Store, opts ...APIOption) *API {
 	a := &API{
-		mgr:      mgr,
-		store:    st,
-		maxModes: DefaultMaxModes,
-		timeout:  DefaultTimeout,
-		started:  time.Now(),
+		mgr:         mgr,
+		store:       st,
+		maxModes:    DefaultMaxModes,
+		timeout:     DefaultTimeout,
+		maxInFlight: 4 * runtime.GOMAXPROCS(0),
+		started:     time.Now(),
 	}
 	a.compile = a.compileSync
 	for _, o := range opts {
@@ -117,6 +149,7 @@ func (a *API) routeTable() []struct {
 		{"GET /v1/devices", a.handleDevices},
 		{"GET /v1/store/{address}", a.handleStoreExport},
 		{"GET /v1/healthz", a.handleHealthz},
+		{"GET /v1/readyz", a.handleReadyz},
 		{"GET /v1/stats", a.handleStats},
 	}
 }
@@ -189,9 +222,11 @@ func writeAPIErr(w http.ResponseWriter, err error) {
 		return
 	}
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", retryAfterBackpressure)
 		writeErr(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", retryAfterDraining)
 		//hatt:lint-ignore apierr 503 is the contract for a draining daemon, not a handler bug
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrNotFound):
@@ -503,6 +538,18 @@ func (a *API) compileSync(ctx context.Context, req *compileRequest) (*compiler.R
 }
 
 func (a *API) handleCompile(w http.ResponseWriter, r *http.Request) {
+	// Admission control before any decode work: past the in-flight cap,
+	// another sync compile would only pile onto already-saturated
+	// workers, so shed it immediately with retry guidance.
+	if n := a.inflight.Add(1); a.maxInFlight > 0 && n > int64(a.maxInFlight) {
+		a.inflight.Add(-1)
+		a.shedSync.Add(1)
+		w.Header().Set("Retry-After", retryAfterBackpressure)
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("service: %d synchronous compiles already in flight, retry later", a.maxInFlight))
+		return
+	}
+	defer a.inflight.Add(-1)
 	req, aerr := a.decodeCompileRequest(r)
 	if aerr != nil {
 		writeErr(w, aerr.code, aerr.msg)
@@ -643,12 +690,42 @@ func (a *API) handleStoreExport(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(raw)
 }
 
+// handleHealthz is the liveness probe: the process is up and serving
+// HTTP. It deliberately checks nothing else — a degraded node must
+// still answer 200 here so orchestrators don't restart a process that
+// is alive but shedding, which is /v1/readyz's distinction to draw.
 func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"version": version.Version,
 		"uptime":  time.Since(a.started).String(),
 	})
+}
+
+// handleReadyz is the readiness probe. A live process can still be in
+// no shape to take traffic: draining for shutdown, its disk tier
+// failing writes, or with circuit breakers open to its peers. Those
+// answer 503 with the reasons listed, so load balancers steer around
+// the node while it recovers; 200 {"status":"ready"} otherwise.
+func (a *API) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if a.mgr != nil && a.mgr.Draining() {
+		reasons = append(reasons, "draining: manager is shutting down")
+	}
+	if a.store != nil && !a.store.DiskHealthy() {
+		reasons = append(reasons, "store: disk tier failing writes")
+	}
+	if a.fleet != nil {
+		if open := a.fleet.OpenBreakers(); len(open) > 0 {
+			reasons = append(reasons, "fleet: breaker open for "+strings.Join(open, ", "))
+		}
+	}
+	if len(reasons) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		return
+	}
+	//hatt:lint-ignore apierr 503 is the readiness contract for a degraded node, not a handler bug
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "degraded", "reasons": reasons})
 }
 
 // StatsSnapshot assembles the /v1/stats payload. It is exported (and
@@ -666,12 +743,23 @@ func (a *API) StatsSnapshot() map[string]any {
 		"jobs":      jobs,
 		"uptime_ms": time.Since(a.started).Milliseconds(),
 		"version":   version.Version,
+		"overload": map[string]any{
+			"inflight_sync":     a.inflight.Load(),
+			"max_inflight_sync": a.maxInFlight,
+			"shed_sync":         a.shedSync.Load(),
+		},
 	}
 	if a.store != nil {
 		out["store"] = a.store.Stats()
 	}
 	if a.fleet != nil {
 		out["fleet"] = a.fleet.Stats()
+	}
+	if fault.Enabled() {
+		out["fault"] = map[string]any{
+			"plan":     fault.Active(),
+			"injected": fault.Stats(),
+		}
 	}
 	return out
 }

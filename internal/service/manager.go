@@ -4,9 +4,10 @@
 // daemon mounts (api.go).
 //
 // The manager's contract mirrors what a multi-tenant front end needs:
-//   - Submit is non-blocking with backpressure — a full queue returns
-//     ErrQueueFull (the HTTP layer maps it to 429) instead of stalling
-//     the caller.
+//   - Submit is non-blocking with backpressure — a nearly-full queue
+//     sheds new work with ErrOverloaded and a hard-full queue returns
+//     ErrQueueFull (the HTTP layer maps both to 429 with a Retry-After)
+//     instead of stalling the caller.
 //   - Identical in-flight jobs deduplicate: a submission whose content
 //     address (Hamiltonian fingerprint, method spec, options digest)
 //     matches a queued or running job attaches to that job instead of
@@ -25,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/fermion"
 	"repro/internal/models"
 	"repro/pkg/compiler"
@@ -32,10 +34,11 @@ import (
 
 // Sentinel errors the HTTP layer translates into status codes.
 var (
-	ErrQueueFull = errors.New("service: job queue full")
-	ErrClosed    = errors.New("service: manager shut down")
-	ErrNotFound  = errors.New("service: no such job")
-	ErrNotDone   = errors.New("service: job not finished")
+	ErrQueueFull  = errors.New("service: job queue full")
+	ErrOverloaded = errors.New("service: queue nearly full, shedding load")
+	ErrClosed     = errors.New("service: manager shut down")
+	ErrNotFound   = errors.New("service: no such job")
+	ErrNotDone    = errors.New("service: job not finished")
 )
 
 // Config sizes the manager.
@@ -47,6 +50,11 @@ type Config struct {
 	// QueueDepth bounds the pending-job queue; submissions beyond it get
 	// ErrQueueFull. Non-positive means DefaultQueueDepth.
 	QueueDepth int
+	// ShedDepth is the queue depth at which Submit starts refusing new
+	// (non-deduplicated) work with ErrOverloaded — graceful load
+	// shedding with client guidance before the queue is hard-full.
+	// Non-positive or > QueueDepth means 7/8 of QueueDepth, minimum 1.
+	ShedDepth int
 	// Store, when non-nil, is attached to every job via WithStore.
 	Store compiler.Store
 	// KeepFinished bounds how many finished jobs remain pollable; the
@@ -167,6 +175,9 @@ func New(cfg Config) *Manager {
 	if cfg.KeepFinished <= 0 {
 		cfg.KeepFinished = DefaultKeepFinished
 	}
+	if cfg.ShedDepth <= 0 || cfg.ShedDepth > cfg.QueueDepth {
+		cfg.ShedDepth = max(1, cfg.QueueDepth*7/8)
+	}
 	if cfg.MaxJobTime <= 0 {
 		cfg.MaxJobTime = DefaultMaxJobTime
 	}
@@ -243,6 +254,14 @@ func (m *Manager) Submit(req Request) (st Status, deduped bool, err error) {
 		m.mu.Unlock()
 		return st, true, nil
 	}
+	// Shed before the queue is hard-full: deduplicated attaches above are
+	// free and always admitted, but net-new work beyond the shed depth is
+	// refused while there is still headroom, so the answer is a prompt
+	// 429 with retry guidance rather than a cliff.
+	if len(m.queue) >= m.cfg.ShedDepth {
+		m.mu.Unlock()
+		return Status{}, false, ErrOverloaded
+	}
 	m.seq++
 	jctx, jcancel := context.WithCancel(m.root)
 	j := &job{
@@ -312,7 +331,7 @@ func (m *Manager) run(j *job) {
 	}
 	ctx, cancel := context.WithTimeout(j.ctx, timeout)
 	defer cancel()
-	res, err := compiler.Compile(ctx, j.spec, j.req.Hamiltonian, opts...)
+	res, err := m.execute(ctx, j, opts)
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -329,6 +348,27 @@ func (m *Manager) run(j *job) {
 	}
 	j.mu.Unlock()
 	m.finish(j)
+}
+
+// execute runs one job's compile under a panic shield: a worker that
+// panics — from a method bug or an injected service.worker.panic fault
+// — fails its own job instead of crashing the daemon and silently
+// shrinking the pool. The service.queue.stall failpoint holds the
+// worker here first, simulating a wedged dequeue path so overload
+// shedding and readiness can be exercised under a stalled queue.
+func (m *Manager) execute(ctx context.Context, j *job, opts []compiler.Option) (res *compiler.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, fmt.Errorf("service: compile worker panicked: %v", rec)
+		}
+	}()
+	if serr := fault.PointCtx(ctx, "service.queue.stall"); serr != nil {
+		return nil, serr
+	}
+	if ferr := fault.Point("service.worker.panic"); ferr != nil {
+		panic(ferr)
+	}
+	return compiler.Compile(ctx, j.spec, j.req.Hamiltonian, opts...)
 }
 
 // finish retires a job from the dedup index, closes its done channel,
@@ -457,6 +497,15 @@ func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
 
 // QueueDepth returns (pending, capacity).
 func (m *Manager) QueueDepth() (int, int) { return len(m.queue), cap(m.queue) }
+
+// Draining reports whether Shutdown has begun: new submissions are
+// refused and the readiness probe should steer traffic elsewhere while
+// queued and running jobs finish.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
 
 // Counts tallies jobs by state across the retained table.
 func (m *Manager) Counts() map[State]int {

@@ -178,11 +178,45 @@ func TestQueueBackpressure(t *testing.T) {
 	if _, _, err := m.Submit(Request{Model: "hubbard:1x2", Spec: b.name}); err != nil {
 		t.Fatalf("queue slot submit: %v", err)
 	}
+	// With QueueDepth 1 the shed depth coincides with hard-full, so the
+	// refusal is the graceful ErrOverloaded (both map to 429).
 	_, _, err = m.Submit(Request{Model: "hubbard:1x3", Spec: b.name})
-	if !errors.Is(err, ErrQueueFull) {
-		t.Fatalf("overfull submit: %v, want ErrQueueFull", err)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overfull submit: %v, want ErrOverloaded", err)
 	}
 	_ = running
+}
+
+func TestShedBeforeHardFull(t *testing.T) {
+	b := newBlocking(t)
+	m := New(Config{Workers: 1, QueueDepth: 8, ShedDepth: 2})
+	defer func() {
+		close(b.release)
+		m.Shutdown(context.Background())
+	}()
+
+	if _, _, err := m.Submit(Request{Model: "h2", Spec: b.name}); err != nil {
+		t.Fatal(err)
+	}
+	<-b.started
+	// Two jobs fit under the shed depth; distinct problems defeat dedup.
+	for _, model := range []string{"hubbard:1x2", "hubbard:1x3"} {
+		if _, _, err := m.Submit(Request{Model: model, Spec: b.name}); err != nil {
+			t.Fatalf("submit %s under shed depth: %v", model, err)
+		}
+	}
+	// The queue still has six free slots, but the shed depth refuses
+	// net-new work here — before the cliff.
+	if _, _, err := m.Submit(Request{Model: "hubbard:2x2", Spec: b.name}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("beyond shed depth: %v, want ErrOverloaded", err)
+	}
+	if pending, capacity := m.QueueDepth(); pending >= capacity {
+		t.Fatalf("shed only fired at hard-full: %d/%d", pending, capacity)
+	}
+	// Deduplicated attaches are always admitted, even while shedding.
+	if _, deduped, err := m.Submit(Request{Model: "hubbard:1x2", Spec: b.name}); err != nil || !deduped {
+		t.Fatalf("dedup attach while shedding: deduped=%v err=%v", deduped, err)
+	}
 }
 
 func TestCancelRunningAndQueued(t *testing.T) {

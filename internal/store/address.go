@@ -78,6 +78,7 @@ func (s *Store) Export(key Key) ([]byte, bool) {
 	// the fleet.
 	if _, err := decodeEntry(raw, key); err != nil {
 		s.diskErr.Add(1)
+		s.quarantine(id)
 		return nil, false
 	}
 	return raw, true

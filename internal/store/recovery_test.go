@@ -1,0 +1,200 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestDiskCrashRecovery drives the disk tier through the file states a
+// crash (or torn write) can leave behind and asserts the self-healing
+// contract: the tier opens, the damaged entry degrades to a miss, a
+// corrupt file is quarantined out of the load path, and the next Put —
+// the "recompile" in service terms — restores a servable copy.
+func TestDiskCrashRecovery(t *testing.T) {
+	k := key("crashed")
+	for name, tc := range map[string]struct {
+		damage         func(t *testing.T, dir, entryFile string)
+		wantQuarantine bool
+	}{
+		"truncated entry": {
+			damage: func(t *testing.T, dir, entryFile string) {
+				raw, err := os.ReadFile(entryFile)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(entryFile, raw[:len(raw)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantQuarantine: true,
+		},
+		"zero-byte entry": {
+			damage: func(t *testing.T, dir, entryFile string) {
+				if err := os.WriteFile(entryFile, nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantQuarantine: true,
+		},
+		"half-renamed temp": {
+			// Crash between fsync and rename: the payload exists only
+			// under the temp name. That is a plain miss — no final file,
+			// nothing to quarantine — and the temp garbage is inert.
+			damage: func(t *testing.T, dir, entryFile string) {
+				raw, err := os.ReadFile(entryFile)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := filepath.Base(entryFile)
+				tmp := filepath.Join(dir, strings.TrimSuffix(base, ".json")+".tmp-123456")
+				if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.Remove(entryFile); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantQuarantine: false,
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(8, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Put(k, testEntry(t, 3))
+			files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+			if err != nil || len(files) != 1 {
+				t.Fatalf("glob: %v, files=%v", err, files)
+			}
+			tc.damage(t, dir, files[0])
+
+			// A fresh process with a cold memory tier must open and serve.
+			fresh, err := Open(8, dir)
+			if err != nil {
+				t.Fatalf("tier failed to load after crash: %v", err)
+			}
+			if _, ok := fresh.Get(k); ok {
+				t.Fatal("damaged entry served as a hit")
+			}
+			st := fresh.Stats()
+			if tc.wantQuarantine {
+				if st.DiskQuarantines != 1 {
+					t.Fatalf("stats = %+v, want 1 quarantine", st)
+				}
+				if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+					t.Fatalf("corrupt file still under its final name (err=%v)", err)
+				}
+				if q, _ := filepath.Glob(filepath.Join(dir, "*.quarantined")); len(q) != 1 {
+					t.Fatalf("quarantined copy missing, glob=%v", q)
+				}
+			} else if st.DiskQuarantines != 0 {
+				t.Fatalf("stats = %+v, want no quarantine for a missing file", st)
+			}
+
+			// "Recompile": the next Put heals the tier and the entry is
+			// durable again for yet another cold start.
+			fresh.Put(k, testEntry(t, 3))
+			if !fresh.DiskHealthy() {
+				t.Fatal("disk tier unhealthy after a successful rewrite")
+			}
+			again, err := Open(8, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := again.Get(k); !ok {
+				t.Fatal("healed entry not served after reopen")
+			}
+		})
+	}
+}
+
+// TestTornWriteSelfHeals arms the real failpoint plan end-to-end: every
+// disk persist is torn to half its bytes, exactly as the chaos smoke
+// does, and the store must degrade to recompute-and-rewrite without
+// ever serving bad bytes.
+func TestTornWriteSelfHeals(t *testing.T) {
+	defer fault.Disarm()
+	dir := t.TempDir()
+	k := key("torn")
+
+	if err := fault.Arm("seed=3;store.disk.write=torn:0.5"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(k, testEntry(t, 3))
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("memory tier must mask the torn disk write")
+	}
+	if !s.DiskHealthy() {
+		t.Fatal("a torn write is silent at write time; health flips on read")
+	}
+
+	// Cold restart, plan still armed: the torn file is quarantined, the
+	// entry recompiles (Put), and the rewrite is torn again — memory
+	// still serves.
+	fresh, err := Open(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(k); ok {
+		t.Fatal("torn disk entry served as a hit")
+	}
+	if st := fresh.Stats(); st.DiskQuarantines != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantine", st)
+	}
+	fresh.Put(k, testEntry(t, 3))
+
+	// Plan disarmed (the fault heals): one more Put writes a good copy.
+	fault.Disarm()
+	fresh.Put(k, testEntry(t, 3))
+	healed, err := Open(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := healed.Get(k); !ok {
+		t.Fatal("store did not heal once the fault cleared")
+	}
+}
+
+// TestInjectedWriteErrorFlipsHealth covers the ENOSPC-style failpoint:
+// an injected write error marks the disk tier unhealthy for readiness
+// reporting, and the first successful persist clears it.
+func TestInjectedWriteErrorFlipsHealth(t *testing.T) {
+	defer fault.Disarm()
+	dir := t.TempDir()
+	s, err := Open(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("seed=1;store.disk.write=error*1"); err != nil {
+		t.Fatal(err)
+	}
+	s.Put(key("a"), testEntry(t, 2))
+	if s.DiskHealthy() {
+		t.Fatal("failed persist left the tier healthy")
+	}
+	if st := s.Stats(); st.DiskErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 disk error", st)
+	}
+	s.Put(key("b"), testEntry(t, 2)) // burst exhausted: this one lands
+	if !s.DiskHealthy() {
+		t.Fatal("successful persist did not clear disk health")
+	}
+	// Memory-only stores are trivially healthy.
+	mem, err := Open(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mem.DiskHealthy() {
+		t.Fatal("memory-only store reported an unhealthy disk tier")
+	}
+}

@@ -7,10 +7,14 @@
 //
 // The store is two tiers. The memory tier is a bounded LRU map, always
 // on. The disk tier is optional: one JSON file per entry, written with
-// an atomic create-temp-and-rename so a crash can never leave a torn
+// an atomic create-temp-fsync-rename so a crash can never leave a torn
 // file under the final name, and loaded tolerantly — an unreadable,
 // unparsable, mismatched, or algebra-violating file is treated as a miss
 // (counted in Stats.DiskErrors), never an error surfaced to the caller.
+// A file that exists but fails validation is additionally quarantined —
+// renamed aside so it stops being re-read on every miss — and the next
+// Put of that key rewrites a good copy, making the tier self-healing
+// under torn writes (Stats.DiskQuarantines counts these).
 // Mappings cross the disk boundary through the existing
 // mapping.WriteText/ReadText round-trip, so every load re-verifies the
 // anticommutation algebra before the entry is trusted.
@@ -29,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/lru"
 	"repro/internal/mapping"
 	"repro/internal/pauli"
@@ -86,15 +91,16 @@ func (e *Entry) clone() *Entry {
 
 // Stats is a point-in-time snapshot of the store's counters.
 type Stats struct {
-	Hits       int64 `json:"hits"`        // Get served from memory or disk
-	Misses     int64 `json:"misses"`      // Get found nothing
-	Puts       int64 `json:"puts"`        // entries stored
-	Evictions  int64 `json:"evictions"`   // memory-tier LRU evictions
-	Entries    int   `json:"entries"`     // current memory-tier size
-	Capacity   int   `json:"capacity"`    // memory-tier bound
-	DiskHits   int64 `json:"disk_hits"`   // Gets promoted from the disk tier
-	DiskWrites int64 `json:"disk_writes"` // entries persisted
-	DiskErrors int64 `json:"disk_errors"` // unreadable/corrupt/mismatched files skipped
+	Hits            int64 `json:"hits"`             // Get served from memory or disk
+	Misses          int64 `json:"misses"`           // Get found nothing
+	Puts            int64 `json:"puts"`             // entries stored
+	Evictions       int64 `json:"evictions"`        // memory-tier LRU evictions
+	Entries         int   `json:"entries"`          // current memory-tier size
+	Capacity        int   `json:"capacity"`         // memory-tier bound
+	DiskHits        int64 `json:"disk_hits"`        // Gets promoted from the disk tier
+	DiskWrites      int64 `json:"disk_writes"`      // entries persisted
+	DiskErrors      int64 `json:"disk_errors"`      // unreadable/corrupt/mismatched files skipped
+	DiskQuarantines int64 `json:"disk_quarantines"` // corrupt files renamed aside for later rewrite
 }
 
 // Store is the two-tier content-addressed store. Safe for concurrent
@@ -108,6 +114,8 @@ type Store struct {
 
 	hits, misses, puts, evictions atomic.Int64
 	diskHits, diskWrites, diskErr atomic.Int64
+	diskQuarantines               atomic.Int64
+	diskDown                      atomic.Bool // last write attempt failed
 }
 
 // DefaultCapacity bounds the memory tier when Open is given a
@@ -190,16 +198,25 @@ func (s *Store) Stats() Stats {
 	capacity := s.cap
 	s.mu.Unlock()
 	return Stats{
-		Hits:       s.hits.Load(),
-		Misses:     s.misses.Load(),
-		Puts:       s.puts.Load(),
-		Evictions:  s.evictions.Load(),
-		Entries:    entries,
-		Capacity:   capacity,
-		DiskHits:   s.diskHits.Load(),
-		DiskWrites: s.diskWrites.Load(),
-		DiskErrors: s.diskErr.Load(),
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Puts:            s.puts.Load(),
+		Evictions:       s.evictions.Load(),
+		Entries:         entries,
+		Capacity:        capacity,
+		DiskHits:        s.diskHits.Load(),
+		DiskWrites:      s.diskWrites.Load(),
+		DiskErrors:      s.diskErr.Load(),
+		DiskQuarantines: s.diskQuarantines.Load(),
 	}
+}
+
+// DiskHealthy reports the write-path health of the disk tier: true when
+// the tier is disabled (nothing to be unhealthy) or the most recent
+// persist attempt succeeded. Readiness probes use it to report a node
+// that can still serve but can no longer make results durable.
+func (s *Store) DiskHealthy() bool {
+	return s.dir == "" || !s.diskDown.Load()
 }
 
 // Dir returns the disk-tier root, or "" when the store is memory-only.
@@ -224,54 +241,97 @@ func (s *Store) path(id string) string { return filepath.Join(s.dir, id+".json")
 
 // loadDisk reads, validates, and parses the disk entry for id. Every
 // failure mode — missing file, bad JSON, key mismatch, mapping that
-// fails to parse or verify — is a tolerated miss.
+// fails to parse or verify — is a tolerated miss, and a file that is
+// present but invalid is quarantined so the next Put heals it.
 func (s *Store) loadDisk(id string, key Key) (*Entry, bool) {
 	if s.dir == "" {
 		return nil, false
 	}
 	raw, err := os.ReadFile(s.path(id))
+	if err == nil {
+		if ferr := fault.Point("store.disk.read"); ferr != nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		if !os.IsNotExist(err) {
 			s.diskErr.Add(1)
 		}
 		return nil, false
 	}
+	raw = fault.Mutate("store.disk.read", raw) // short read
 	e, err := decodeEntry(raw, key)
 	if err != nil {
 		s.diskErr.Add(1)
+		s.quarantine(id)
 		return nil, false
 	}
 	return e, true
 }
 
-// writeDisk persists an entry with create-temp-then-rename atomicity.
-// Failures are recorded in DiskErrors and otherwise swallowed: the disk
-// tier is an accelerator, never a correctness dependency.
+// quarantine moves a corrupt entry file out of the load path. The
+// content is kept under a .quarantined suffix for postmortems instead
+// of deleted, and the final name is freed so the next Put of this key
+// rewrites a verified copy. If even the rename fails the file is
+// removed outright — a corrupt file must not be re-validated on every
+// subsequent miss.
+func (s *Store) quarantine(id string) {
+	path := s.path(id)
+	if err := os.Rename(path, path+".quarantined"); err != nil && !os.IsNotExist(err) {
+		os.Remove(path)
+	}
+	s.diskQuarantines.Add(1)
+}
+
+// writeDisk persists an entry with create-temp-fsync-rename atomicity:
+// the payload is durable before the final name exists, so a crash
+// between the two leaves at worst an ignorable temp file. Failures are
+// recorded in DiskErrors (and flip DiskHealthy off until a write
+// succeeds again) but otherwise swallowed: the disk tier is an
+// accelerator, never a correctness dependency.
 func (s *Store) writeDisk(id string, key Key, e *Entry) {
 	if s.dir == "" {
 		return
 	}
-	raw, err := encodeEntry(key, e)
-	if err != nil {
-		s.diskErr.Add(1)
+	if ferr := fault.Point("store.disk.write"); ferr != nil { // e.g. ENOSPC
+		s.diskFail()
 		return
 	}
+	raw, err := encodeEntry(key, e)
+	if err != nil {
+		s.diskFail()
+		return
+	}
+	raw = fault.Mutate("store.disk.write", raw) // torn write: only a prefix lands
 	tmp, err := os.CreateTemp(s.dir, id+".tmp-*")
 	if err != nil {
-		s.diskErr.Add(1)
+		s.diskFail()
 		return
 	}
 	_, werr := tmp.Write(raw)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		s.diskErr.Add(1)
+		s.diskFail()
+		return
+	}
+	if ferr := fault.Point("store.disk.rename"); ferr != nil {
+		os.Remove(tmp.Name())
+		s.diskFail()
 		return
 	}
 	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
 		os.Remove(tmp.Name())
-		s.diskErr.Add(1)
+		s.diskFail()
 		return
 	}
 	s.diskWrites.Add(1)
+	s.diskDown.Store(false)
+}
+
+// diskFail records one failed persist attempt.
+func (s *Store) diskFail() {
+	s.diskErr.Add(1)
+	s.diskDown.Store(true)
 }

@@ -237,7 +237,7 @@ func compileWith(ctx context.Context, spec string, mh *fermion.MajoranaHamiltoni
 	}
 	cacheable := o.Store != nil && mh != nil
 	if cacheable {
-		if res, _, ok := storeLookup(spec, mh, o); ok {
+		if res, _, ok := storeLookup(ctx, spec, mh, o); ok {
 			if dev != nil {
 				if err := attachRouted(res, mh, dev, o); err != nil {
 					return nil, err

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fermion"
@@ -17,6 +18,16 @@ import (
 type Store interface {
 	Get(key store.Key) (*store.Entry, bool)
 	Put(key store.Key, entry *store.Entry)
+}
+
+// ContextStore is the optional context-aware extension of Store. A
+// store whose Get may leave the process — the fleet wrapper dials peers
+// — implements GetContext so the compile request's cancellation reaches
+// the remote fetch; Compile type-asserts for it and falls back to plain
+// Get. In-memory stores have no reason to implement it.
+type ContextStore interface {
+	Store
+	GetContext(ctx context.Context, key store.Key) (*store.Entry, bool)
 }
 
 // WithStore attaches a content-addressed result store. Before running a
@@ -61,10 +72,20 @@ func storeKey(spec string, mh *fermion.MajoranaHamiltonian, o Options) store.Key
 }
 
 // storeLookup consults the attached store, converting a stored entry
-// back into a Result.
-func storeLookup(spec string, mh *fermion.MajoranaHamiltonian, o Options) (*Result, store.Key, bool) {
+// back into a Result. The caller's context rides along when the store
+// supports it (ContextStore), so cancelling the compile aborts an
+// in-flight peer fetch too.
+func storeLookup(ctx context.Context, spec string, mh *fermion.MajoranaHamiltonian, o Options) (*Result, store.Key, bool) {
 	key := storeKey(spec, mh, o)
-	e, ok := o.Store.Get(key)
+	var (
+		e  *store.Entry
+		ok bool
+	)
+	if cs, hasCtx := o.Store.(ContextStore); hasCtx {
+		e, ok = cs.GetContext(ctx, key)
+	} else {
+		e, ok = o.Store.Get(key)
+	}
 	if !ok {
 		return nil, key, false
 	}
