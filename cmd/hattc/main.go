@@ -31,6 +31,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/fermion"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/store"
 	"repro/internal/version"
@@ -66,12 +67,19 @@ func run() error {
 	storeCap := flag.Int("store-cap", store.DefaultCapacity, "in-memory entries for -store-dir's LRU tier")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	logLevel := flag.String("log-level", "warn", "structured log level: debug | info | warn | error")
+	logFormat := flag.String("log-format", "text", "structured log format: json | text")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println(version.String("hattc"))
 		return nil
+	}
+	// A CLI defaults to quiet, human-readable logs on stderr; -log-level
+	// debug surfaces store/fault events during local debugging.
+	if _, err := obs.InitLogger(os.Stderr, *logLevel, *logFormat); err != nil {
+		return err
 	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)

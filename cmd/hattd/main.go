@@ -18,7 +18,15 @@
 //	GET    /v1/healthz          liveness + version
 //	GET    /v1/readyz           readiness (503 + reasons while degraded)
 //	GET    /v1/stats            cache/fleet counters and queue depth
+//	GET    /v1/traces/{id}      recent request trace (spans + timings)
 //	GET    /debug/vars          the same stats via expvar
+//	GET    /metrics             Prometheus text exposition of the same counters
+//
+// Every response carries a Trace-Id header; requests may supply a W3C
+// traceparent header to join an existing trace (propagated across fleet
+// peer fetches). Structured logs (JSON by default) go to stderr with
+// -log-level / -log-format; -debug-addr opens a second listener serving
+// /debug/pprof/* so profiling never shares the public socket.
 //
 // Several daemons form a fleet with -self plus -peers (or -fleet-config):
 // each node keeps serving everything, but a local store miss is first
@@ -45,6 +53,8 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/version"
@@ -75,12 +85,23 @@ func run() error {
 	peerRetries := flag.Int("peer-retries", fleet.DefaultRetries, "extra attempts per failing peer fetch before falling back")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent synchronous compiles before shedding 429 (0 = 4×GOMAXPROCS)")
 	faultPlan := flag.String("fault-plan", "", "arm a failpoint injection plan (chaos testing; also "+fault.EnvVar+" env)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug | info | warn | error")
+	logFormat := flag.String("log-format", "json", "structured log format: json | text")
+	traceBuffer := flag.Int("trace-buffer", obs.DefaultTraceCapacity, "recent traces kept for GET /v1/traces/{id}")
+	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/pprof/* (empty = profiling endpoints off)")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println(version.String("hattd"))
 		return nil
+	}
+
+	// Structured logs go to stderr so stdout keeps the few load-bearing
+	// plain lines (listen address, fleet size, drain notices) scripts and
+	// the CI smoke jobs grep for.
+	if _, err := obs.InitLogger(os.Stderr, *logLevel, *logFormat); err != nil {
+		return err
 	}
 
 	// Fault injection arms before anything that can hit a failpoint. The
@@ -139,13 +160,30 @@ func run() error {
 	if fleetStore != nil {
 		apiOpts = append(apiOpts, service.WithFleet(fleetStore))
 	}
+	apiOpts = append(apiOpts, service.WithObservability(obs.NewRegistry(), obs.NewTracer(*traceBuffer)))
 	api := service.NewAPI(mgr, st, apiOpts...)
 
-	// The /v1/stats payload doubles as the daemon's expvar export.
+	// One snapshot path feeds every introspection surface: /v1/stats,
+	// expvar's /debug/vars, and the registry collectors behind /metrics
+	// all read the same counters, so the three views cannot drift.
 	expvar.Publish("hattd", expvar.Func(func() any { return api.StatsSnapshot() }))
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", api.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.Handle("GET /metrics", api.MetricsHandler())
+
+	// Live profiling gets its own listener: /debug/pprof/* never shares
+	// the serving socket, so an exposed -addr cannot leak profiles.
+	if *debugAddr != "" {
+		dln, derr := net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			return derr
+		}
+		fmt.Printf("hattd: debug listener on %s (pprof)\n", dln.Addr())
+		dsrv := &http.Server{Handler: prof.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = dsrv.Serve(dln) }()
+		defer dsrv.Close()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

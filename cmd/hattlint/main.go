@@ -1,7 +1,8 @@
-// Command hattlint is the repository's multichecker: it runs the seven
+// Command hattlint is the repository's multichecker: it runs the eight
 // invariant-enforcing analysis passes (noalloc, detrand, ctxflow,
-// locksafe, apierr, pkgdoc, faultsafe) plus the lint-ignore hygiene
-// check over the named packages and exits non-zero on any finding.
+// locksafe, apierr, pkgdoc, faultsafe, obslog) plus the lint-ignore
+// hygiene check over the named packages and exits non-zero on any
+// finding.
 //
 // Usage:
 //
@@ -27,6 +28,7 @@ import (
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/locksafe"
 	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/obslog"
 	"repro/internal/analysis/pkgdoc"
 )
 
@@ -39,6 +41,7 @@ var analyzers = []*framework.Analyzer{
 	apierr.Analyzer,
 	pkgdoc.Analyzer,
 	faultsafe.Analyzer,
+	obslog.Analyzer,
 }
 
 func main() {

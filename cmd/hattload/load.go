@@ -124,6 +124,34 @@ type phaseResult struct {
 	MissIssued  int            `json:"miss_requests_issued"`
 	RPS         float64        `json:"rps"`
 	Latency     latencySummary `json:"latency_ms"`
+	Slowest     []slowTrace    `json:"slowest,omitempty"`
+}
+
+// slowTrace identifies one of the slowest requests of a run: the
+// target that served it, the Trace-Id it answered with, and its
+// latency. Feeding the ID to GET /v1/traces/{id} on that target breaks
+// the tail latency down into pipeline stages.
+type slowTrace struct {
+	Target    string  `json:"target"`
+	TraceID   string  `json:"trace_id"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// slowCap bounds every slowest-request list (per worker, per phase, and
+// the report's run-level traces block).
+const slowCap = 5
+
+// topSlow inserts t into a descending-by-latency list bounded at
+// slowCap, returning the updated list.
+func topSlow(list []slowTrace, t slowTrace) []slowTrace {
+	i := sort.Search(len(list), func(i int) bool { return list[i].LatencyMS < t.LatencyMS })
+	list = append(list, slowTrace{})
+	copy(list[i+1:], list[i:])
+	list[i] = t
+	if len(list) > slowCap {
+		list = list[:slowCap]
+	}
+	return list
 }
 
 // latencySummary reports request latency in milliseconds.
@@ -148,7 +176,11 @@ type report struct {
 	Phases    []phaseResult `json:"phases"`
 	TotalReqs int           `json:"total_requests"`
 	TotalErrs int           `json:"total_errors"`
-	Chaos     *chaosReport  `json:"chaos,omitempty"`
+	// Traces lists the run's slowest requests with their Trace-Id, so a
+	// tail-latency regression in the report links straight to the span
+	// timelines that explain it.
+	Traces []slowTrace  `json:"traces,omitempty"`
+	Chaos  *chaosReport `json:"chaos,omitempty"`
 }
 
 // chaosReport is the -chaos block of the report: how much backpressure
@@ -185,6 +217,7 @@ func runPhase(ctx context.Context, client *http.Client, targets []string, m *mix
 		errors    int
 		hits      int
 		misses    int
+		slow      []slowTrace
 	}
 	tallies := make([]workerTally, concurrency)
 	start := time.Now()
@@ -202,18 +235,23 @@ func runPhase(ctx context.Context, client *http.Client, targets []string, m *mix
 				target := targets[i%uint64(len(targets))]
 				t0 := time.Now()
 				var (
-					cached bool
-					err    error
+					cached  bool
+					traceID string
+					err     error
 				)
 				if cs != nil {
-					cached, err = postCompileChaos(ctx, client, target, body, cs)
+					cached, traceID, err = postCompileChaos(ctx, client, target, body, cs)
 				} else {
-					cached, err = postCompile(ctx, client, target, body)
+					cached, traceID, err = postCompile(ctx, client, target, body)
 				}
 				if ctx.Err() != nil {
 					return // deadline mid-request: do not count the cut-off request
 				}
-				tally.latencies = append(tally.latencies, float64(time.Since(t0).Microseconds())/1000)
+				lat := float64(time.Since(t0).Microseconds()) / 1000
+				tally.latencies = append(tally.latencies, lat)
+				if traceID != "" {
+					tally.slow = topSlow(tally.slow, slowTrace{Target: target, TraceID: traceID, LatencyMS: lat})
+				}
 				if err != nil {
 					tally.errors++
 					continue
@@ -234,6 +272,9 @@ func runPhase(ctx context.Context, client *http.Client, targets []string, m *mix
 		res.Errors += t.errors
 		res.CacheHits += t.hits
 		res.MissIssued += t.misses
+		for _, st := range t.slow {
+			res.Slowest = topSlow(res.Slowest, st)
+		}
 	}
 	res.Requests = len(all)
 	if sec := elapsed.Seconds(); sec > 0 {
@@ -246,9 +287,9 @@ func runPhase(ctx context.Context, client *http.Client, targets []string, m *mix
 // postCompile issues one synchronous compile and reports whether the
 // daemon served it from cache. Any non-200 status is an error for load
 // accounting (the generator only sends well-formed requests).
-func postCompile(ctx context.Context, client *http.Client, target string, body []byte) (cached bool, err error) {
-	cached, _, _, err = postCompileOnce(ctx, client, target, body)
-	return cached, err
+func postCompile(ctx context.Context, client *http.Client, target string, body []byte) (cached bool, traceID string, err error) {
+	cached, _, _, traceID, err = postCompileOnce(ctx, client, target, body)
+	return cached, traceID, err
 }
 
 // postCompileChaos is postCompile under the documented client contract
@@ -256,12 +297,12 @@ func postCompile(ctx context.Context, client *http.Client, target string, body [
 // (capped at chaosMaxRetryDelay) and retries up to chaosMaxRetries
 // times. A request that eventually succeeds is not a client error —
 // shedding worked; only exhausted retries count against the run.
-func postCompileChaos(ctx context.Context, client *http.Client, target string, body []byte, cs *chaosState) (bool, error) {
+func postCompileChaos(ctx context.Context, client *http.Client, target string, body []byte, cs *chaosState) (bool, string, error) {
 	for attempt := 0; ; attempt++ {
-		cached, status, retryAfter, err := postCompileOnce(ctx, client, target, body)
+		cached, status, retryAfter, traceID, err := postCompileOnce(ctx, client, target, body)
 		backpressure := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 		if err == nil || !backpressure || attempt >= chaosMaxRetries {
-			return cached, err
+			return cached, traceID, err
 		}
 		cs.retries.Add(1)
 		delay := retryAfter
@@ -273,7 +314,7 @@ func postCompileChaos(ctx context.Context, client *http.Client, target string, b
 		}
 		select {
 		case <-ctx.Done():
-			return false, ctx.Err()
+			return false, traceID, ctx.Err()
 		case <-time.After(delay):
 		}
 	}
@@ -282,17 +323,18 @@ func postCompileChaos(ctx context.Context, client *http.Client, target string, b
 // postCompileOnce issues exactly one compile attempt, surfacing the
 // status code and any Retry-After guidance so callers can implement
 // retry policy.
-func postCompileOnce(ctx context.Context, client *http.Client, target string, body []byte) (cached bool, status int, retryAfter time.Duration, err error) {
+func postCompileOnce(ctx context.Context, client *http.Client, target string, body []byte) (cached bool, status int, retryAfter time.Duration, traceID string, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/compile", bytes.NewReader(body))
 	if err != nil {
-		return false, 0, 0, err
+		return false, 0, 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return false, 0, 0, err
+		return false, 0, 0, "", err
 	}
 	defer resp.Body.Close()
+	traceID = resp.Header.Get("Trace-Id")
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
 		if s := resp.Header.Get("Retry-After"); s != "" {
@@ -300,15 +342,15 @@ func postCompileOnce(ctx context.Context, client *http.Client, target string, bo
 				retryAfter = time.Duration(sec) * time.Second
 			}
 		}
-		return false, resp.StatusCode, retryAfter, fmt.Errorf("%s: status %d", target, resp.StatusCode)
+		return false, resp.StatusCode, retryAfter, traceID, fmt.Errorf("%s: status %d", target, resp.StatusCode)
 	}
 	var out struct {
 		Cached bool `json:"cached"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return false, resp.StatusCode, 0, fmt.Errorf("%s: bad response: %v", target, err)
+		return false, resp.StatusCode, 0, traceID, fmt.Errorf("%s: bad response: %v", target, err)
 	}
-	return out.Cached, http.StatusOK, 0, nil
+	return out.Cached, http.StatusOK, 0, traceID, nil
 }
 
 // getStatus issues a GET and returns the response status, draining the

@@ -271,7 +271,7 @@ func TestChaosBackpressureRetry(t *testing.T) {
 	t.Cleanup(srv.Close)
 	cs := &chaosState{}
 	client := &http.Client{Timeout: 5 * time.Second}
-	cached, err := postCompileChaos(context.Background(), client, srv.URL, []byte(`{"model":"h2"}`), cs)
+	cached, _, err := postCompileChaos(context.Background(), client, srv.URL, []byte(`{"model":"h2"}`), cs)
 	if err != nil || !cached {
 		t.Fatalf("chaos retry: cached=%v err=%v", cached, err)
 	}
@@ -284,7 +284,7 @@ func TestChaosBackpressureRetry(t *testing.T) {
 	}))
 	t.Cleanup(bad.Close)
 	before := cs.retries.Load()
-	if _, err := postCompileChaos(context.Background(), client, bad.URL, []byte(`{}`), cs); err == nil {
+	if _, _, err := postCompileChaos(context.Background(), client, bad.URL, []byte(`{}`), cs); err == nil {
 		t.Fatal("400 retried as backpressure")
 	}
 	if cs.retries.Load() != before {

@@ -38,6 +38,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/version"
 )
 
@@ -61,12 +62,17 @@ func run() error {
 	warm := flag.Bool("warm", true, "issue each hit combo once before measuring, so hits are hits")
 	chaos := flag.Bool("chaos", false, "chaos-drill mode: retry 429/503 per Retry-After, then require readyz 200 on every target")
 	out := flag.String("out", "BENCH_load.json", "report path (- for stdout)")
+	logLevel := flag.String("log-level", "warn", "structured log level: debug | info | warn | error")
+	logFormat := flag.String("log-format", "text", "structured log format: json | text")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println(version.String("hattload"))
 		return nil
+	}
+	if _, err := obs.InitLogger(os.Stderr, *logLevel, *logFormat); err != nil {
+		return err
 	}
 
 	targetList := splitList(*targets)
@@ -95,9 +101,9 @@ func run() error {
 		for _, body := range combos {
 			var err error
 			if cs != nil {
-				_, err = postCompileChaos(ctx, client, targetList[0], body, cs)
+				_, _, err = postCompileChaos(ctx, client, targetList[0], body, cs)
 			} else {
-				_, err = postCompile(ctx, client, targetList[0], body)
+				_, _, err = postCompile(ctx, client, targetList[0], body)
 			}
 			if err != nil {
 				return fmt.Errorf("warmup: %w", err)
@@ -123,6 +129,15 @@ func run() error {
 		rep.Phases = append(rep.Phases, ph)
 		rep.TotalReqs += ph.Requests
 		rep.TotalErrs += ph.Errors
+		for _, st := range ph.Slowest {
+			rep.Traces = topSlow(rep.Traces, st)
+		}
+	}
+	if len(rep.Traces) > 0 {
+		fmt.Fprintf(os.Stderr, "hattload: slowest requests (GET <target>/v1/traces/<trace_id> for the span timeline):\n")
+		for _, st := range rep.Traces {
+			fmt.Fprintf(os.Stderr, "hattload:   %8.2fms  %s  %s\n", st.LatencyMS, st.TraceID, st.Target)
+		}
 	}
 
 	// The chaos verdict: the storm is over, so every target must report

@@ -1,0 +1,13 @@
+package obslog_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obslog"
+)
+
+func TestObslog(t *testing.T) {
+	analysistest.Run(t, obslog.Analyzer, filepath.Join("testdata", "a"))
+}

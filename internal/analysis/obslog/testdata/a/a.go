@@ -1,0 +1,27 @@
+// Package a is the obslog analysistest fixture.
+package a
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+func Events(n int) {
+	fmt.Println("peer fetch failed")               // want `fmt.Println in service/fleet code`
+	fmt.Printf("breaker opened after %d fails", n) // want `fmt.Printf in service/fleet code`
+	fmt.Print("draining")                          // want `fmt.Print in service/fleet code`
+	log.Printf("job %d finished", n)               // want `log.Printf in service/fleet code`
+	log.Println("queue full")                      // want `log.Println in service/fleet code`
+	log.Fatal("disk gone")                         // want `log.Fatal in service/fleet code`
+	log.Panicf("bad state %d", n)                  // want `log.Panicf in service/fleet code`
+}
+
+func Allowed(n int) error {
+	slog.Info("job finished", "jobs", n)
+	slog.Warn("breaker opened", "fails", n)
+	msg := fmt.Sprintf("job %d", n)          // building a value, not emitting a line
+	fmt.Fprintf(os.Stderr, "usage: %s", msg) // explicit writer: CLI usage text, not a log
+	return fmt.Errorf("compile failed: %s", msg)
+}

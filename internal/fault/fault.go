@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"strconv"
@@ -129,6 +130,7 @@ func Arm(plan string) error {
 		return err
 	}
 	current.Store(p)
+	slog.Warn("fault plan armed", "plan", p.src)
 	return nil
 }
 
@@ -143,7 +145,12 @@ func ArmFromEnv() (string, error) {
 }
 
 // Disarm removes the armed plan; every failpoint returns to a no-op.
-func Disarm() { current.Store(nil) }
+func Disarm() {
+	if current.Load() != nil {
+		slog.Info("fault plan disarmed")
+	}
+	current.Store(nil)
+}
 
 // Parse compiles plan text into a Plan without arming it.
 func Parse(text string) (*Plan, error) {
@@ -240,6 +247,7 @@ func Point(site string) error {
 	if r == nil || r.mode != modeError || !r.fire(p.seed) {
 		return nil
 	}
+	slog.Debug("fault injected", "site", site, "mode", "error")
 	return fmt.Errorf("%w at %s", ErrInjected, site)
 }
 
@@ -258,10 +266,12 @@ func PointCtx(ctx context.Context, site string) error {
 	switch r.mode {
 	case modeError:
 		if r.fire(p.seed) {
+			slog.Debug("fault injected", "site", site, "mode", "error")
 			return fmt.Errorf("%w at %s", ErrInjected, site)
 		}
 	case modeLatency:
 		if r.fire(p.seed) {
+			slog.Debug("fault injected", "site", site, "mode", "latency")
 			t := time.NewTimer(r.delay)
 			defer t.Stop()
 			select {

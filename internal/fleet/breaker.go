@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"log/slog"
 	"sync"
 	"time"
 )
@@ -57,6 +58,7 @@ type BreakerStats struct {
 // clock on each attempt — so it adds no blocking to the fetch path and
 // needs no background goroutine.
 type breaker struct {
+	peer      string // peer URL, for transition log lines
 	threshold int
 	base, max time.Duration
 	now       func() time.Time // injectable clock for tests
@@ -74,6 +76,7 @@ type breaker struct {
 
 func newBreaker(peer string, threshold int, base, max time.Duration) *breaker {
 	return &breaker{
+		peer:      peer,
 		threshold: threshold,
 		base:      base,
 		max:       max,
@@ -113,13 +116,18 @@ func (b *breaker) allow() bool {
 // and closes a probing breaker.
 func (b *breaker) onSuccess() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.fails = 0
 	b.probing = false
+	closed := false
 	if b.state != breakerClosed {
 		b.state = breakerClosed
 		b.backoff = 0
 		b.closes++
+		closed = true
+	}
+	b.mu.Unlock()
+	if closed {
+		slog.Info("breaker closed", "peer", b.peer)
 	}
 }
 
@@ -128,16 +136,21 @@ func (b *breaker) onSuccess() {
 // with the next (doubled) backoff.
 func (b *breaker) onFailure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var wait time.Duration
+	opened := false
 	b.probing = false
 	switch b.state {
 	case breakerHalfOpen:
-		b.trip()
+		wait, opened = b.trip(), true
 	case breakerClosed:
 		b.fails++
 		if b.fails >= b.threshold {
-			b.trip()
+			wait, opened = b.trip(), true
 		}
+	}
+	b.mu.Unlock()
+	if opened {
+		slog.Warn("breaker opened", "peer", b.peer, "backoff_ms", wait.Milliseconds())
 	}
 }
 
@@ -150,8 +163,9 @@ func (b *breaker) onCancel() {
 	b.mu.Unlock()
 }
 
-// trip opens the breaker (mu held) with the next jittered deadline.
-func (b *breaker) trip() {
+// trip opens the breaker (mu held) with the next jittered deadline,
+// returning the open interval so the caller can log it after unlocking.
+func (b *breaker) trip() time.Duration {
 	if b.backoff == 0 {
 		b.backoff = b.base
 	} else if b.backoff < b.max {
@@ -163,7 +177,9 @@ func (b *breaker) trip() {
 	b.state = breakerOpen
 	b.fails = 0
 	b.opens++
-	b.openUntil = b.now().Add(b.jittered(b.backoff))
+	wait := b.jittered(b.backoff)
+	b.openUntil = b.now().Add(wait)
+	return wait
 }
 
 // jittered spreads a backoff across [0.75, 1.25)·d so a fleet of nodes

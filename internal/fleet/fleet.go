@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -311,23 +312,33 @@ func (f *Store) fill(ctx context.Context, key store.Key) (*store.Entry, bool) {
 	addr := key.Address()
 	for _, peer := range f.ring.Owners(addr, len(f.ring.Peers())) {
 		br := f.breakers[peer]
+		sctx, span := obs.StartSpan(ctx, "fleet.peer.fetch")
+		span.SetAttr("peer", peer)
+		outcome := "miss"
 		for attempt := 0; attempt <= f.retries; attempt++ {
 			if ctx.Err() != nil {
+				span.SetAttr("outcome", "canceled")
+				span.End()
 				return nil, false // caller gone: not a peer miss, nobody's fault
 			}
 			if !br.allow() {
 				f.peerSkips.Add(1)
+				outcome = "skip"
 				break // breaker open: next peer, no network touched
 			}
-			raw, status, err := f.fetch(ctx, peer, addr)
+			raw, status, err := f.fetch(sctx, peer, addr)
 			switch {
 			case err != nil:
 				if ctx.Err() != nil {
 					br.onCancel()
+					span.SetAttr("outcome", "canceled")
+					span.End()
 					return nil, false
 				}
 				f.peerErr.Add(1)
 				br.onFailure()
+				obs.L(ctx).Warn("peer fetch failed", "peer", peer, "attempt", attempt, "error", err.Error())
+				outcome = "error"
 				continue // retry this peer
 			case status == http.StatusNotFound:
 				// Definitive answer from a healthy peer: move on.
@@ -335,6 +346,8 @@ func (f *Store) fill(ctx context.Context, key store.Key) (*store.Entry, bool) {
 			case status != http.StatusOK:
 				f.peerErr.Add(1)
 				br.onFailure()
+				obs.L(ctx).Warn("peer fetch failed", "peer", peer, "attempt", attempt, "status", status)
+				outcome = "error"
 				continue
 			default:
 				e, ierr := f.local.Import(key, raw)
@@ -343,14 +356,20 @@ func (f *Store) fill(ctx context.Context, key store.Key) (*store.Entry, bool) {
 					// peer as broken for this key, try the next one.
 					f.peerErr.Add(1)
 					br.onFailure()
+					obs.L(ctx).Warn("peer payload failed verification", "peer", peer, "error", ierr.Error())
+					outcome = "error"
 				} else {
 					br.onSuccess()
 					f.peerHits.Add(1)
+					span.SetAttr("outcome", "hit")
+					span.End()
 					return e, true
 				}
 			}
 			break // 404 or bad payload: next peer
 		}
+		span.SetAttr("outcome", outcome)
+		span.End()
 	}
 	f.peerMiss.Add(1)
 	return nil, false
@@ -377,6 +396,9 @@ func (f *Store) fetch(ctx context.Context, peer, addr string) ([]byte, int, erro
 	if err != nil {
 		return nil, 0, err
 	}
+	// Carry the originating request's trace across the node boundary so
+	// the peer's spans and logs share its trace ID.
+	obs.InjectTraceparent(ctx, req.Header)
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return nil, 0, err

@@ -5,6 +5,8 @@ package prof
 
 import (
 	"fmt"
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -48,4 +50,19 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			}
 		}
 	}, nil
+}
+
+// Handler returns the net/http/pprof surface (/debug/pprof/ index,
+// profile, heap, goroutine, trace, …) as a mux ready to serve. hattd
+// mounts it on the separate -debug-addr listener only: live profiling
+// endpoints never share the serving socket, so an operator can scrape a
+// profile from localhost without exposing it to request traffic.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	return mux
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fermion"
 	"repro/internal/fleet"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/version"
 	"repro/pkg/compiler"
@@ -45,6 +46,14 @@ type API struct {
 	// compile is the sync-compile entry point, indirect so tests (and
 	// the request-decoder fuzzer) can stub the expensive part out.
 	compile func(ctx context.Context, req *compileRequest) (*compiler.Result, int, error)
+
+	// Observability: the metric registry behind GET /metrics, the span
+	// buffer behind GET /v1/traces/{id}, and the request-latency
+	// histogram the observe middleware feeds. NewAPI always populates
+	// them (see WithObservability).
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	reqHist *obs.Histogram
 }
 
 // Request-size guardrails, tuned to keep one malicious request from
@@ -126,6 +135,18 @@ func NewAPI(mgr *Manager, st *store.Store, opts ...APIOption) *API {
 	for _, o := range opts {
 		o(a)
 	}
+	if a.reg == nil {
+		a.reg = obs.NewRegistry()
+	}
+	if a.tracer == nil {
+		a.tracer = obs.NewTracer(obs.DefaultTraceCapacity) //hatt:lint-ignore apierr 512 is a trace-buffer capacity, not a status code
+	}
+	// Async jobs trace through the manager; give it the same buffer so a
+	// job's spans land in the trace of the request that submitted it.
+	if mgr != nil {
+		mgr.setTracer(a.tracer)
+	}
+	a.registerMetrics()
 	return a
 }
 
@@ -148,6 +169,7 @@ func (a *API) routeTable() []struct {
 		{"GET /v1/methods", a.handleMethods},
 		{"GET /v1/devices", a.handleDevices},
 		{"GET /v1/store/{address}", a.handleStoreExport},
+		{"GET /v1/traces/{id}", a.handleTraces},
 		{"GET /v1/healthz", a.handleHealthz},
 		{"GET /v1/readyz", a.handleReadyz},
 		{"GET /v1/stats", a.handleStats},
@@ -174,7 +196,7 @@ func (a *API) Handler() http.Handler {
 	for _, r := range a.routeTable() {
 		mux.HandleFunc(r.pattern, r.handler)
 	}
-	return recoverJSON(mux)
+	return a.observe(recoverJSON(mux))
 }
 
 // recoverJSON is the outermost safety net: a panic escaping any handler
@@ -252,6 +274,9 @@ type compileRequest struct {
 	// synthesized circuit and report routed metrics.
 	Device       string          `json:"device,omitempty"`
 	CustomDevice json.RawMessage `json:"custom_device,omitempty"`
+	// Trace asks the response to embed the request's span timeline (the
+	// trace ID is always surfaced via the Trace-Id header regardless).
+	Trace bool `json:"trace,omitempty"`
 
 	mh      *fermion.MajoranaHamiltonian // resolved by decodeCompileRequest
 	devOpts []compiler.Option            // resolved device options
@@ -422,11 +447,15 @@ func (a *API) decodeCompileRequest(r *http.Request) (*compileRequest, *apiError)
 			return nil, &apiError{code: http.StatusUnprocessableEntity,
 				msg: fmt.Sprintf("model %q has %d modes, server caps requests at %d", req.Model, n, a.maxModes)}
 		}
+		_, modelSpan := obs.StartSpan(r.Context(), "model.build")
+		modelSpan.SetAttr("model", req.Model)
 		h, err := models.Resolve(req.Model)
 		if err != nil {
+			modelSpan.End()
 			return nil, badRequest("%v", err)
 		}
 		req.mh = h.Majorana(1e-12)
+		modelSpan.End()
 	default:
 		return nil, badRequest("request needs a model spec or a hamiltonian")
 	}
@@ -445,6 +474,11 @@ type compileResponse struct {
 	ElapsedMS   float64         `json:"elapsed_ms"`
 	Mapping     []string        `json:"mapping,omitempty"`
 	Routed      *routedResponse `json:"routed,omitempty"`
+	// TraceID names the request's trace (also in the Trace-Id header);
+	// Trace is the buffered span timeline, embedded when the request set
+	// "trace": true.
+	TraceID string             `json:"trace_id,omitempty"`
+	Trace   *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // routedResponse is the hardware-mapped view of a compile when the
@@ -561,7 +595,19 @@ func (a *API) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, toResponse(req, res, time.Since(start)))
+	resp := toResponse(req, res, time.Since(start))
+	if sc := obs.SpanContextFrom(r.Context()); sc.Valid() {
+		resp.TraceID = sc.TraceID.String()
+		if req.Trace {
+			// The root http.request span is still open here, so the embedded
+			// timeline holds the pipeline stages; the root lands in the
+			// buffer for GET /v1/traces/{id} once the response is written.
+			if snap, ok := a.tracer.Snapshot(sc.TraceID); ok {
+				resp.Trace = &snap
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // submitResponse is the wire shape of POST /v1/jobs.
@@ -588,14 +634,21 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		opts = o
 	}
 	opts = append(opts, req.devOpts...)
-	st, deduped, err := a.mgr.Submit(Request{
+	sreq := Request{
 		Model:       req.Model,
 		Hamiltonian: req.mh,
 		Spec:        req.Method,
 		Options:     opts,
 		Timeout:     time.Duration(req.TimeoutMS) * time.Millisecond,
 		Strings:     req.Strings,
-	})
+	}
+	if req.Trace {
+		// Tie the job's spans to the submitting request's trace so the
+		// poller (and GET /v1/traces/{id}) can see the async compile's
+		// timeline under the Trace-Id this response carries.
+		sreq.Trace = obs.SpanContextFrom(r.Context())
+	}
+	st, deduped, err := a.mgr.Submit(sreq)
 	if err != nil {
 		writeAPIErr(w, err)
 		return
@@ -610,6 +663,9 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 type jobResponse struct {
 	Status
 	Result *compileResponse `json:"result,omitempty"`
+	// Trace is the job's buffered span timeline, present when the
+	// submission asked for tracing and the trace is still buffered.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 func (a *API) handleJobStatus(w http.ResponseWriter, r *http.Request) {
@@ -632,6 +688,13 @@ func (a *API) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 			}
 			cr := toResponse(jreq, res, st.Elapsed)
 			resp.Result = &cr
+		}
+	}
+	if st.TraceID != "" {
+		if id, err := obs.ParseTraceID(st.TraceID); err == nil {
+			if snap, ok := a.tracer.Snapshot(id); ok {
+				resp.Trace = &snap
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -1,11 +1,16 @@
 package service
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/store"
 )
 
 // routeRE matches anything in the docs that looks like a route spec:
@@ -55,5 +60,68 @@ func TestRoutesAreWellFormed(t *testing.T) {
 	}
 	if len(seen) == 0 {
 		t.Fatal("Routes() returned nothing")
+	}
+}
+
+// metricRE matches anything in the docs that looks like a metric name.
+// Histogram series suffixes are normalized away before comparison.
+var metricRE = regexp.MustCompile(`hatt_[a-z][a-z0-9_]*`)
+
+// TestDocsMatchMetrics holds docs/observability.md's metric inventory
+// to the registry in both directions, the same way TestDocsMatchRoutes
+// holds docs/api.md to the route table: every family a fully-wired API
+// registers must be documented, and every metric-shaped name in the
+// docs must resolve to a registered family (allowing the standard
+// _bucket/_sum/_count histogram series suffixes).
+func TestDocsMatchMetrics(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "observability.md"))
+	if err != nil {
+		t.Fatalf("docs/observability.md unreadable: %v", err)
+	}
+	docs := string(raw)
+
+	// A fleet-wired API registers the full inventory (store, jobs, and
+	// fleet families included); the fleet needs no live peers for that.
+	st, err := store.Open(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fleet.NewStore(st, fleet.Config{
+		Self:  "http://127.0.0.1:1",
+		Peers: []string{"http://127.0.0.1:1", "http://127.0.0.1:2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := New(Config{Workers: 1, QueueDepth: 1, Store: f})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	})
+	api := NewAPI(mgr, st, WithFleet(f))
+
+	registered := make(map[string]bool)
+	for _, fam := range api.Registry().Families() {
+		registered[fam.Name] = true
+		if !strings.Contains(docs, fam.Name) {
+			t.Errorf("registered metric %q is not documented in docs/observability.md", fam.Name)
+		}
+	}
+	if len(registered) == 0 {
+		t.Fatal("Families() returned nothing")
+	}
+
+	for _, m := range metricRE.FindAllString(docs, -1) {
+		base := m
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if s, ok := strings.CutSuffix(m, suffix); ok && registered[s] {
+				base = s
+				break
+			}
+		}
+		if !registered[base] {
+			t.Errorf("docs/observability.md names %q, which is not a registered metric", m)
+		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fermion"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/pkg/compiler"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	// forever. A request's own Timeout may only tighten it.
 	// Non-positive means DefaultMaxJobTime.
 	MaxJobTime time.Duration
+	// Tracer, when non-nil, records a job.run span (plus the compile
+	// pipeline's stage spans beneath it) for every job whose Request
+	// carries a valid trace context. NewAPI injects its own tracer here
+	// when none is configured.
+	Tracer *obs.Tracer
 }
 
 // Defaults for Config's non-positive fields.
@@ -101,6 +107,10 @@ type Request struct {
 	// the HTTP layer uses it to decide if job polls embed the routed
 	// circuit's QASM text.
 	Strings bool
+	// Trace, when valid, is the trace context of the submitting request:
+	// the job's run records its spans under that trace ID, and Status
+	// reports it so pollers can fetch the timeline.
+	Trace obs.SpanContext
 }
 
 // Progress is a point-in-time snapshot of a running job's search.
@@ -122,6 +132,9 @@ type Status struct {
 	Error    string        `json:"error,omitempty"`
 	Created  time.Time     `json:"created"`
 	Elapsed  time.Duration `json:"elapsed"`
+	// TraceID names the trace the job's spans record under, when the
+	// submission carried one.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // job is the manager's internal record.
@@ -196,6 +209,17 @@ func New(cfg Config) *Manager {
 		go m.worker()
 	}
 	return m
+}
+
+// setTracer installs a span buffer when the config has none; NewAPI
+// calls it so the HTTP layer and the job manager share one trace store.
+// Must run before the first traced submission.
+func (m *Manager) setTracer(tr *obs.Tracer) {
+	m.mu.Lock()
+	if m.cfg.Tracer == nil {
+		m.cfg.Tracer = tr
+	}
+	m.mu.Unlock()
 }
 
 // resolve normalizes a request into the pieces the manager keys on.
@@ -331,7 +355,19 @@ func (m *Manager) run(j *job) {
 	}
 	ctx, cancel := context.WithTimeout(j.ctx, timeout)
 	defer cancel()
+	// A submission that carried a trace context records the whole run —
+	// the job.run span plus the compile pipeline's stage spans beneath it
+	// — under the submitting request's trace ID.
+	var span *obs.Span
+	if m.cfg.Tracer != nil && j.req.Trace.Valid() {
+		ctx = obs.WithTracer(ctx, m.cfg.Tracer)
+		ctx = obs.WithSpanContext(ctx, j.req.Trace)
+		ctx, span = obs.StartSpan(ctx, "job.run")
+		span.SetAttr("job_id", j.id)
+		span.SetAttr("method", j.spec)
+	}
 	res, err := m.execute(ctx, j, opts)
+	span.End()
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -346,7 +382,15 @@ func (m *Manager) run(j *job) {
 		j.state = StateFailed
 		j.err = err
 	}
+	state, elapsed := j.state, j.finished.Sub(j.started)
 	j.mu.Unlock()
+	logger := obs.L(ctx).With("job_id", j.id, "model", j.model, "method", j.spec,
+		"state", string(state), "elapsed_ms", float64(elapsed.Microseconds())/1000)
+	if state == StateFailed {
+		logger.Warn("job finished", "error", err.Error())
+	} else {
+		logger.Info("job finished")
+	}
 	m.finish(j)
 }
 
@@ -401,6 +445,9 @@ func (j *job) status() Status {
 		Progress: j.progress,
 		Error:    "",
 		Created:  j.created,
+	}
+	if j.req.Trace.Valid() {
+		st.TraceID = j.req.Trace.TraceID.String()
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

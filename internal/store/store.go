@@ -28,6 +28,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -281,6 +282,7 @@ func (s *Store) quarantine(id string) {
 		os.Remove(path)
 	}
 	s.diskQuarantines.Add(1)
+	slog.Warn("store entry quarantined", "path", path)
 }
 
 // writeDisk persists an entry with create-temp-fsync-rename atomicity:
@@ -330,8 +332,12 @@ func (s *Store) writeDisk(id string, key Key, e *Entry) {
 	s.diskDown.Store(false)
 }
 
-// diskFail records one failed persist attempt.
+// diskFail records one failed persist attempt. The first failure of a
+// streak logs (the transition is what an operator acts on); repeats
+// only bump the counter, so a full disk cannot flood the log.
 func (s *Store) diskFail() {
 	s.diskErr.Add(1)
-	s.diskDown.Store(true)
+	if !s.diskDown.Swap(true) {
+		slog.Warn("store disk tier failing writes", "dir", s.dir)
+	}
 }

@@ -18,12 +18,14 @@ package compiler
 import (
 	"context"
 	"runtime"
+	"strconv"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/fermion"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/tree"
 )
 
@@ -237,9 +239,14 @@ func compileWith(ctx context.Context, spec string, mh *fermion.MajoranaHamiltoni
 	}
 	cacheable := o.Store != nil && mh != nil
 	if cacheable {
-		if res, _, ok := storeLookup(ctx, spec, mh, o); ok {
+		gctx, getSpan := obs.StartSpan(ctx, "store.get")
+		getSpan.SetAttr("method", m.Name())
+		res, _, ok := storeLookup(gctx, spec, mh, o)
+		getSpan.SetAttr("hit", strconv.FormatBool(ok))
+		getSpan.End()
+		if ok {
 			if dev != nil {
-				if err := attachRouted(res, mh, dev, o); err != nil {
+				if err := attachRouted(ctx, res, mh, dev, o); err != nil {
 					return nil, err
 				}
 			}
@@ -249,15 +256,21 @@ func compileWith(ctx context.Context, spec string, mh *fermion.MajoranaHamiltoni
 		}
 	}
 	o.emit(ProgressEvent{Method: m.Name(), Stage: StageStart})
-	res, err := m.Compile(ctx, mh, o)
+	sctx, searchSpan := obs.StartSpan(ctx, "compile.search")
+	searchSpan.SetAttr("method", m.Name())
+	res, err := m.Compile(sctx, mh, o)
+	searchSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	if cacheable {
+		_, putSpan := obs.StartSpan(ctx, "store.put")
+		putSpan.SetAttr("method", m.Name())
 		storeSave(storeKey(spec, mh, o), res, o)
+		putSpan.End()
 	}
 	if dev != nil {
-		if err := attachRouted(res, mh, dev, o); err != nil {
+		if err := attachRouted(ctx, res, mh, dev, o); err != nil {
 			return nil, err
 		}
 	}

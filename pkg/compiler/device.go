@@ -1,11 +1,13 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/fermion"
+	"repro/internal/obs"
 	"repro/internal/pauli"
 )
 
@@ -85,14 +87,22 @@ type Routed struct {
 // options' synthesis knobs and routes it onto dev, filling res.Routed.
 // It runs after the cache boundary on hits and misses alike: the store
 // persists only mappings, and re-deriving the routed circuit from one
-// is deterministic.
-func attachRouted(res *Result, mh *fermion.MajoranaHamiltonian, dev *arch.Device, o Options) error {
+// is deterministic. ctx feeds the tracing seam only — synthesis and
+// routing are fast deterministic passes that do not check cancellation.
+func attachRouted(ctx context.Context, res *Result, mh *fermion.MajoranaHamiltonian, dev *arch.Device, o Options) error {
 	if res.Mapping == nil {
 		return fmt.Errorf("compiler: method %s produced no mapping to route", res.Method)
 	}
+	_, synthSpan := obs.StartSpan(ctx, "circuit.synthesis")
+	synthSpan.SetAttr("method", res.Method)
 	hq := res.Mapping.Apply(mh)
 	logical := circuit.Optimize(circuit.SynthesizeTrotter(hq, o.TrotterTime, o.TrotterSteps, o.TermOrder))
+	synthSpan.End()
+	_, routeSpan := obs.StartSpan(ctx, "circuit.route")
+	routeSpan.SetAttr("method", res.Method)
+	routeSpan.SetAttr("device", dev.Name)
 	rr, err := arch.Route(logical, dev)
+	routeSpan.End()
 	if err != nil {
 		return fmt.Errorf("compiler: routing onto %s: %w", dev.Name, err)
 	}

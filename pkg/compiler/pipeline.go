@@ -10,6 +10,7 @@ import (
 	"repro/internal/fermion"
 	"repro/internal/linalg"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/pauli"
 	"repro/internal/taper"
 )
@@ -81,7 +82,10 @@ func (p Pipeline) Run(ctx context.Context) (*Report, error) {
 			return nil, errors.New("compiler: pipeline needs a Model spec or a Hamiltonian")
 		}
 		var err error
+		_, modelSpan := obs.StartSpan(ctx, "model.build")
+		modelSpan.SetAttr("model", p.Model)
 		h, err = models.Resolve(p.Model)
+		modelSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -111,8 +115,11 @@ func (p Pipeline) Run(ctx context.Context) (*Report, error) {
 	if r := res.Routed; r != nil && r.qubitH != nil && r.logical != nil {
 		hq, cc = r.qubitH, r.logical
 	} else {
+		_, synthSpan := obs.StartSpan(ctx, "circuit.synthesis")
+		synthSpan.SetAttr("method", res.Method)
 		hq = res.Mapping.Apply(mh)
 		cc = circuit.Optimize(circuit.SynthesizeTrotter(hq, o.TrotterTime, o.TrotterSteps, o.TermOrder))
+		synthSpan.End()
 	}
 	rep := &Report{
 		Model:           name,
@@ -135,7 +142,10 @@ func (p Pipeline) Run(ctx context.Context) (*Report, error) {
 		if hq.N() > MaxTaperQubits {
 			return nil, fmt.Errorf("compiler: tapering limited to ≤ %d qubits (mapping uses %d)", MaxTaperQubits, hq.N())
 		}
-		tres, e, err := taper.GroundSectorCtx(ctx, hq, linalg.GroundEnergy)
+		tctx, taperSpan := obs.StartSpan(ctx, "taper.ground")
+		taperSpan.SetAttr("method", res.Method)
+		tres, e, err := taper.GroundSectorCtx(tctx, hq, linalg.GroundEnergy)
+		taperSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("compiler: tapering failed: %w", err)
 		}
