@@ -14,6 +14,8 @@
 //	hattc -model hubbard:3x3 -mapping anneal -timeout 5s -progress
 //	hattc -m h2 -method hatt -device montreal
 //	hattc -m h2 -device-file ring6.json -qasm routed.qasm
+//	hattc -model molecule:14 -method portfolio:hatt+beam:8+anneal
+//	hattc -watch job-000001 -daemon http://127.0.0.1:7707
 //
 // -m and -method are short aliases for -model and -mapping. A -device
 // (catalog spec) or -device-file (custom JSON edge list) additionally
@@ -23,10 +25,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/fermion"
@@ -63,6 +69,8 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "abort compilation after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "print search progress to stderr")
 	list := flag.Bool("list", false, "list the registered mapping methods (and the service/store options) and exit")
+	watch := flag.String("watch", "", "watch a daemon job: poll its status and print best-so-far weight/method lines as they improve")
+	daemon := flag.String("daemon", "http://127.0.0.1:7707", "base URL of the hattd daemon -watch polls")
 	storeDir := flag.String("store-dir", "", "reuse compiled mappings from this content-addressed store directory (shared with hattd -store-dir)")
 	storeCap := flag.Int("store-cap", store.DefaultCapacity, "in-memory entries for -store-dir's LRU tier")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -112,6 +120,16 @@ func run() error {
 		fmt.Println("  -store-cap <n>     LRU capacity of the store's in-memory tier")
 		fmt.Println("  (hattd adds: -addr, -workers, -queue, -max-modes, -timeout, -drain-timeout)")
 		return nil
+	}
+
+	if *watch != "" {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		return watchJob(ctx, *daemon, *watch)
 	}
 
 	var opts []compiler.Option
@@ -206,6 +224,84 @@ func run() error {
 		fmt.Println("note: FH search hit its visit budget; result is approximate (*)")
 	}
 	return report(rep, *showStrings, *qasmOut)
+}
+
+// watchStatus is the slice of the job-status payload -watch reads: the
+// lifecycle fields plus the anytime partial block.
+type watchStatus struct {
+	State   string `json:"state"`
+	Error   string `json:"error"`
+	Partial *struct {
+		Method      string `json:"method"`
+		PauliWeight int    `json:"pauli_weight"`
+	} `json:"partial"`
+	Result *struct {
+		Method      string `json:"method"`
+		PauliWeight int    `json:"pauli_weight"`
+		Qubits      int    `json:"qubits"`
+	} `json:"result"`
+}
+
+// watchJob polls one daemon job with include_partial until it reaches a
+// terminal state, printing a line each time the validated best-so-far
+// improves. The weights it prints can only go down — the daemon's
+// partial is monotone — so the output reads as the anytime trajectory
+// of the search.
+func watchJob(ctx context.Context, base, id string) error {
+	url := strings.TrimRight(base, "/") + "/v1/jobs/" + id + "?include_partial=true"
+	best := 0
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		st, err := fetchStatus(ctx, url)
+		if err != nil {
+			return err
+		}
+		if p := st.Partial; p != nil && (best == 0 || p.PauliWeight < best) {
+			best = p.PauliWeight
+			fmt.Printf("hattc: job %s best=%d method=%s\n", id, p.PauliWeight, p.Method)
+		}
+		switch st.State {
+		case "done":
+			if st.Result == nil {
+				return fmt.Errorf("job %s done without a result", id)
+			}
+			fmt.Printf("hattc: job %s done weight=%d qubits=%d method=%s\n",
+				id, st.Result.PauliWeight, st.Result.Qubits, st.Result.Method)
+			return nil
+		case "failed":
+			return fmt.Errorf("job %s failed: %s", id, st.Error)
+		case "canceled":
+			fmt.Printf("hattc: job %s canceled\n", id)
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+func fetchStatus(ctx context.Context, url string) (*watchStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("daemon answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var st watchStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 func readInput(path string) (*fermion.Hamiltonian, error) {

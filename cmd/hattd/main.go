@@ -11,7 +11,8 @@
 //	POST   /v1/compile          synchronous compile (cache-aware)
 //	POST   /v1/jobs             submit an async job (429 when the queue is full)
 //	GET    /v1/jobs/{id}        poll job status / result
-//	DELETE /v1/jobs/{id}        cancel a job
+//	DELETE /v1/jobs/{id}        cancel a job (?result=partial keeps the best-so-far)
+//	GET    /v1/portfolio/stats  portfolio race counters and the win/loss ledger
 //	GET    /v1/methods          registered mapping methods
 //	GET    /v1/devices          device catalog
 //	GET    /v1/store/{address}  fleet peer cache-fill (stored entry by content address)
@@ -48,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -84,6 +86,8 @@ func run() error {
 	peerTimeout := flag.Duration("peer-timeout", fleet.DefaultTimeout, "per-attempt budget for one peer cache-fill fetch")
 	peerRetries := flag.Int("peer-retries", fleet.DefaultRetries, "extra attempts per failing peer fetch before falling back")
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent synchronous compiles before shedding 429 (0 = 4×GOMAXPROCS)")
+	ledgerEps := flag.Float64("portfolio-epsilon", store.DefaultLedgerEpsilon,
+		"portfolio ledger exploration rate in [0,1] (0 = always launch the best-ranked method first)")
 	faultPlan := flag.String("fault-plan", "", "arm a failpoint injection plan (chaos testing; also "+fault.EnvVar+" env)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug | info | warn | error")
 	logFormat := flag.String("log-format", "json", "structured log format: json | text")
@@ -123,6 +127,17 @@ func run() error {
 		return err
 	}
 
+	// The portfolio win/loss ledger lives beside the result store: disk
+	// tier configured → it survives restarts, memory-only otherwise.
+	ledgerPath := ""
+	if *storeDir != "" {
+		ledgerPath = filepath.Join(*storeDir, "portfolio_ledger.json")
+	}
+	ledger, err := store.OpenLedger(ledgerPath, *ledgerEps)
+	if err != nil {
+		return err
+	}
+
 	// Fleet wiring: with peers configured, the manager and the sync
 	// compile path see the fleet-wrapped store (local tiers first, then
 	// peer cache-fill); the API keeps the raw local store for the
@@ -150,12 +165,14 @@ func run() error {
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Store:      compileStore,
+		Ledger:     ledger,
 		MaxJobTime: *jobTimeout,
 	})
 	apiOpts := []service.APIOption{
 		service.WithMaxModes(*maxModes),
 		service.WithSyncTimeout(*syncTimeout),
 		service.WithMaxInFlight(*maxInFlight),
+		service.WithLedger(ledger),
 	}
 	if fleetStore != nil {
 		apiOpts = append(apiOpts, service.WithFleet(fleetStore))

@@ -33,6 +33,26 @@ type AnnealOptions struct {
 	// and the best weight found so far. With Restarts > 1 only the first
 	// chain reports, keeping the callback single-goroutine.
 	Progress func(iter, iters, bestWeight int)
+	// OnImprove, when non-nil, receives a freshly assembled Result each
+	// time a chain's best weight has improved at a progress stride. The
+	// delivered tree is the chain's retired best snapshot — it is never
+	// mutated afterwards — so callers may hold it indefinitely. With
+	// Restarts > 1 every chain reports concurrently and improvements are
+	// only monotone per chain, so the callback must be safe for concurrent
+	// use and must tolerate non-improving deliveries across chains.
+	OnImprove func(*Result)
+	// Bound, when non-nil, is a shared portfolio incumbent. Annealing has
+	// no nontrivial lower bound on its final weight — the best-so-far only
+	// decreases — so the only sound abandonment uses the universal floor
+	// (one Pauli letter per non-identity Hamiltonian term): a chain stops
+	// early iff even a floor-weight mapping could no longer win the
+	// lexicographic (weight, BoundPos) race. Stopped chains return their
+	// best-so-far result, which by construction cannot win, leaving the
+	// portfolio winner untouched.
+	Bound *Bound
+	// BoundPos is this search's position in the portfolio's canonical
+	// racer order, the tie-break key of the (weight, position) race.
+	BoundPos int
 }
 
 // Anneal runs AnnealCtx with a background context. It never returns an
@@ -100,13 +120,22 @@ func AnnealCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts Anneal
 	return best, nil
 }
 
-// annealChain runs one simulated-annealing chain to completion.
+// annealChain runs one simulated-annealing chain to completion (or to
+// bound-driven early exit).
 func annealChain(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts AnnealOptions) (*Result, error) {
 	p := newProblem(mh)
-	cur := buildUnoptBuilder(newProblem(mh)).finish()
+	ub, err := buildUnoptScan(ctx, newProblem(mh), UnoptOptions{})
+	if err != nil {
+		return nil, err
+	}
+	cur := ub.finish()
 	curW := p.evaluateTree(cur)
 	best := cloneTree(cur)
 	bestW := curW
+	// Every non-identity term settles at least one Pauli letter under any
+	// tree, so nTerms floors every weight this chain could ever reach.
+	floor := p.nTerms
+	emitted := int(^uint(0) >> 1) // emit the start tree at the first stride
 
 	r := rand.New(rand.NewSource(opts.Seed))
 	all := collectNodes(cur)
@@ -120,8 +149,17 @@ func annealChain(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts Anne
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if opts.Progress != nil && it%stride == 0 {
-			opts.Progress(it, opts.Iters, bestW)
+		if it%stride == 0 {
+			if opts.Progress != nil {
+				opts.Progress(it, opts.Iters, bestW)
+			}
+			if opts.OnImprove != nil && bestW < emitted {
+				emitted = bestW
+				opts.OnImprove(annealResult(best, bestW))
+			}
+			if opts.Bound.Unbeatable(floor, opts.BoundPos) {
+				break // cannot win even at the floor; best-so-far stands
+			}
 		}
 		a := all[r.Intn(len(all))]
 		b := all[r.Intn(len(all))]
@@ -146,11 +184,18 @@ func annealChain(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts Anne
 	if opts.Progress != nil {
 		opts.Progress(opts.Iters, opts.Iters, bestW)
 	}
+	return annealResult(best, bestW), nil
+}
+
+// annealResult assembles a Result around a retired best-so-far snapshot.
+// The tree is never mutated after it was cloned into place, so the
+// mapping and the Result may outlive the chain.
+func annealResult(best *tree.Tree, bestW int) *Result {
 	return &Result{
 		Mapping:         mapping.FromTreeByLeafID("FH-anneal", best),
 		Tree:            best,
 		PredictedWeight: bestW,
-	}, nil
+	}
 }
 
 // related reports whether one node is an ancestor of the other.

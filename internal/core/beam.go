@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sort"
 
 	"repro/internal/fermion"
@@ -30,6 +31,19 @@ type BeamOptions struct {
 	// below 2 keep the scan sequential. The search result is identical
 	// at every worker count.
 	Workers int
+	// Bound, when non-nil, is a shared portfolio incumbent consulted once
+	// per construction step against the minimum accumulated weight across
+	// the live beam (a lower bound on every completion this beam can still
+	// reach). On abandonment the greedy incumbent path is still attempted
+	// under the same bound, because beam pruning may have discarded the
+	// greedy trajectory; if that too is unbeatable the search returns
+	// ErrBounded. Abandonment is whole-search only — the bound never
+	// perturbs candidate scoring or beam composition — so the portfolio
+	// winner stays byte-identical at any worker count or timing.
+	Bound *Bound
+	// BoundPos is this search's position in the portfolio's canonical
+	// racer order, the tie-break key of the (weight, position) race.
+	BoundPos int
 }
 
 // BuildBeamCtx generalizes the optimized HATT construction from greedy
@@ -66,7 +80,21 @@ func BuildBeamOpts(ctx context.Context, mh *fermion.MajoranaHamiltonian, opt Bea
 		acc        int
 	}
 	var cands []cand
+	bounded := false
 	for i := 0; i < n; i++ {
+		// The minimum accumulated weight across the live beam bounds every
+		// completion still reachable from it; once that loses the race the
+		// whole beam is abandoned (the greedy incumbent below still runs).
+		minAcc := beams[0].acc
+		for _, st := range beams[1:] {
+			if st.acc < minAcc {
+				minAcc = st.acc
+			}
+		}
+		if opt.Bound.Unbeatable(minAcc, opt.BoundPos) {
+			bounded = true
+			break
+		}
 		// Enumerate expansions sequentially (cheap index work, fixes the
 		// candidate order)...
 		cands = cands[:0]
@@ -119,23 +147,37 @@ func BuildBeamOpts(ctx context.Context, mh *fermion.MajoranaHamiltonian, opt Bea
 		}
 		beams = next
 	}
-	best := beams[0]
-	for _, st := range beams[1:] {
-		if st.acc < best.acc {
-			best = st
+	if bounded && width == 1 {
+		return nil, ErrBounded
+	}
+	var best *beamState
+	if !bounded {
+		best = beams[0]
+		for _, st := range beams[1:] {
+			if st.acc < best.acc {
+				best = st
+			}
 		}
 	}
 	// Beam search can prune the greedy path (it keeps the global top-k by
 	// accumulated weight, which need not contain greedy's trajectory), so
 	// keep the greedy result as an incumbent: BuildBeam never returns a
 	// worse mapping than Build. The incumbent shares this search's
-	// context and worker pool.
+	// context, worker pool, and portfolio bound.
 	if width > 1 {
-		greedy, err := BuildWithOptionsCtx(ctx, mh, BuildOptions{Workers: opt.Workers})
-		if err != nil {
+		greedy, err := BuildWithOptionsCtx(ctx, mh, BuildOptions{
+			Workers: opt.Workers, Bound: opt.Bound, BoundPos: opt.BoundPos,
+		})
+		switch {
+		case errors.Is(err, ErrBounded):
+			// The greedy incumbent lost the race on its own; if the beam
+			// was abandoned too there is nothing left worth returning.
+			if bounded {
+				return nil, ErrBounded
+			}
+		case err != nil:
 			return nil, err
-		}
-		if greedy.PredictedWeight < best.acc {
+		case bounded || greedy.PredictedWeight < best.acc:
 			greedy.Mapping.Name = "HATT-beam"
 			return greedy, nil
 		}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+)
+
+// ErrBounded reports that a search was abandoned because the shared
+// incumbent bound proved it could not win its portfolio race. It is a
+// clean early exit, not a failure: the abandoned search would have lost
+// the deterministic winner reduction no matter how it finished.
+var ErrBounded = errors.New("core: search abandoned by incumbent bound")
+
+// boundPosBits is the width reserved for the racer position in the
+// packed bound word. Portfolios hold a handful of racers; 16 bits is
+// generous and leaves 47 bits for the weight.
+const (
+	boundPosBits = 16
+	boundPosMask = (1 << boundPosBits) - 1
+)
+
+// Bound is the shared incumbent of a portfolio race: the lexicographic
+// minimum of (weight, racer position) over every achieved result offered
+// so far, packed into one atomic word so workers can consult it without
+// locks. Racers offer completed (and, for anytime searches, improved
+// best-so-far) weights via Offer and consult Unbeatable to abandon
+// searches that can no longer win.
+//
+// Determinism: the final bound value is a commutative minimum over the
+// same offer set regardless of timing, and Unbeatable is calibrated so
+// the eventual winner — the racer whose (final weight, position) is the
+// lexicographic minimum — can never observe itself as unbeatable (its
+// monotone partial lower bound never exceeds its final weight, which
+// every bound value dominates). Abandonment is therefore free to fire at
+// different moments on different runs without changing the winner.
+//
+// A nil *Bound is valid and inert: Offer is a no-op and Unbeatable
+// always reports false, so search code can consult an optional bound
+// unconditionally.
+type Bound struct {
+	packed atomic.Int64
+}
+
+// NewBound returns a bound holding no incumbent yet.
+func NewBound() *Bound {
+	b := &Bound{}
+	b.packed.Store(math.MaxInt64)
+	return b
+}
+
+// packBound encodes (weight, pos) so that integer order on the packed
+// word is lexicographic order on the pair.
+func packBound(weight, pos int) int64 {
+	return int64(weight)<<boundPosBits | int64(pos&boundPosMask)
+}
+
+// Offer publishes an achieved weight from the racer at the given
+// canonical position, lowering the bound if (weight, pos) improves on
+// the current incumbent lexicographically.
+func (b *Bound) Offer(weight, pos int) {
+	if b == nil {
+		return
+	}
+	v := packBound(weight, pos)
+	for {
+		cur := b.packed.Load()
+		if cur <= v || b.packed.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Unbeatable reports whether a search at racer position pos whose final
+// weight is provably at least lowerBound can no longer win the
+// lexicographic (weight, position) winner reduction. lowerBound must be
+// a true lower bound that only grows as the search progresses (e.g. the
+// accumulated settled weight of a bottom-up construction); under that
+// contract the eventual winner never observes true here.
+func (b *Bound) Unbeatable(lowerBound, pos int) bool {
+	if b == nil {
+		return false
+	}
+	return packBound(lowerBound, pos) > b.packed.Load()
+}
+
+// Best returns the current incumbent (weight, racer position), with
+// ok=false while no offer has been made yet.
+func (b *Bound) Best() (weight, pos int, ok bool) {
+	if b == nil {
+		return 0, 0, false
+	}
+	cur := b.packed.Load()
+	if cur == math.MaxInt64 {
+		return 0, 0, false
+	}
+	return int(cur >> boundPosBits), int(cur & boundPosMask), true
+}

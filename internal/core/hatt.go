@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/fermion"
 	"repro/internal/mapping"
 	"repro/internal/tree"
@@ -23,16 +25,57 @@ type Result struct {
 // Pauli weight settled on that step's qubit. O(N⁴) overall. The resulting
 // mapping is *not* vacuum-state preserving in general.
 func BuildUnopt(mh *fermion.MajoranaHamiltonian) *Result {
-	b := buildUnoptBuilder(newProblem(mh))
+	//hatt:lint-ignore ctxflow compat wrapper: the Ctx variant is the library API
+	res, err := BuildUnoptCtx(context.Background(), mh, UnoptOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// UnoptOptions configures BuildUnoptCtx.
+type UnoptOptions struct {
+	// Bound, when non-nil, is a shared portfolio incumbent consulted once
+	// per construction step: the scan returns ErrBounded as soon as the
+	// accumulated settled weight proves the final mapping cannot win the
+	// lexicographic (weight, BoundPos) race. Abandonment is all-or-nothing
+	// — the pairwise-delta prune and triple selection are untouched — so
+	// the portfolio winner stays byte-identical at any timing.
+	Bound *Bound
+	// BoundPos is this search's position in the portfolio's canonical
+	// racer order, the tie-break key of the (weight, position) race.
+	BoundPos int
+}
+
+// BuildUnoptCtx is BuildUnopt with context cancellation (checked once per
+// construction step) and optional portfolio-bound abandonment.
+func BuildUnoptCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts UnoptOptions) (*Result, error) {
+	b, err := buildUnoptScan(ctx, newProblem(mh), opts)
+	if err != nil {
+		return nil, err
+	}
 	t := b.finish()
 	return &Result{
 		Mapping:         mapping.FromTreeByLeafID("HATT-unopt", t),
 		Tree:            t,
 		PredictedWeight: b.predicted,
-	}
+	}, nil
 }
 
+// buildUnoptBuilder is the context-free pruned scan, kept for callers
+// with no cancellation surface (differential tests, the exhaustive-search
+// seed). It cannot fail: with no context and no bound there is no early
+// exit.
 func buildUnoptBuilder(p *problem) *builder {
+	//hatt:lint-ignore ctxflow compat wrapper: the ctx-aware scan is the library path
+	b, err := buildUnoptScan(context.Background(), p, UnoptOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func buildUnoptScan(ctx context.Context, p *problem, opts UnoptOptions) (*builder, error) {
 	b := newBuilder(p)
 	n := p.n
 	// Pairwise symmetric-difference popcounts over all node IDs, filled
@@ -51,6 +94,14 @@ func buildUnoptBuilder(p *problem) *builder {
 		}
 	}
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// b.predicted only grows, so once it proves the race lost the
+		// whole scan is abandoned.
+		if opts.Bound.Unbeatable(b.predicted, opts.BoundPos) {
+			return nil, ErrBounded
+		}
 		bestW := int(^uint(0) >> 1)
 		var bx, by, bz int
 		u := b.u
@@ -84,7 +135,7 @@ func buildUnoptBuilder(p *problem) *builder {
 			delta[id*ids+pid] = d
 		}
 	}
-	return b
+	return b, nil
 }
 
 // buildUnoptReference is the unpruned Algorithm 1 scan, kept as the

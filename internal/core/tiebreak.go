@@ -40,6 +40,16 @@ type BuildOptions struct {
 	// NoMemo bypasses the build memo, forcing a full construction. Used
 	// by benchmarks that time the search itself.
 	NoMemo bool
+	// Bound, when non-nil, is a shared portfolio incumbent consulted once
+	// per construction step: the search returns ErrBounded as soon as the
+	// accumulated settled weight proves the final mapping cannot win the
+	// lexicographic (weight, BoundPos) race. Abandonment is all-or-nothing
+	// — it never alters which merges a surviving search selects — so the
+	// portfolio winner stays byte-identical at any worker count or timing.
+	Bound *Bound
+	// BoundPos is this search's position in the portfolio's canonical
+	// racer order, the tie-break key of the (weight, position) race.
+	BoundPos int
 }
 
 // BuildWithOptions is BuildWithOptionsCtx with a background context. It
@@ -87,6 +97,12 @@ func BuildWithOptionsCtx(ctx context.Context, mh *fermion.MajoranaHamiltonian, o
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		// b.predicted only grows, so once it proves the race lost the whole
+		// search is abandoned (never stored in the memo: the release above
+		// wakes any waiter to take over the construction).
+		if opts.Bound.Unbeatable(b.predicted, opts.BoundPos) {
+			return nil, ErrBounded
 		}
 		// Enumerate the vacuum-preserving candidate triples in the same
 		// order as Build (cheap index work, kept sequential)...

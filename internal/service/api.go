@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fermion"
 	"repro/internal/fleet"
+	"repro/internal/mapping"
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -30,8 +31,9 @@ import (
 // or absurd input is always a 4xx, never a panic.
 type API struct {
 	mgr      *Manager
-	store    *store.Store // may be nil; used for /v1/stats and /v1/store/{address}
-	fleet    *fleet.Store // may be nil; used for the /v1/stats fleet block
+	store    *store.Store  // may be nil; used for /v1/stats and /v1/store/{address}
+	fleet    *fleet.Store  // may be nil; used for the /v1/stats fleet block
+	ledger   *store.Ledger // may be nil; behind GET /v1/portfolio/stats
 	maxModes int
 	timeout  time.Duration
 	started  time.Time
@@ -108,6 +110,14 @@ func WithFleet(f *fleet.Store) APIOption {
 	return func(a *API) { a.fleet = f }
 }
 
+// WithLedger attaches the portfolio win/loss ledger so GET
+// /v1/portfolio/stats can serve it. Compile paths pick the ledger up
+// through the manager's Config.Ledger (async) and directly here (sync);
+// this option also feeds the sync path when the manager has none.
+func WithLedger(l *store.Ledger) APIOption {
+	return func(a *API) { a.ledger = l }
+}
+
 // WithMaxInFlight caps how many synchronous /v1/compile requests run
 // concurrently; requests beyond the cap are shed with 429 and a
 // Retry-After header (≤ 0 keeps the default, 4 × GOMAXPROCS).
@@ -166,6 +176,7 @@ func (a *API) routeTable() []struct {
 		{"POST /v1/jobs", a.handleSubmit},
 		{"GET /v1/jobs/{id}", a.handleJobStatus},
 		{"DELETE /v1/jobs/{id}", a.handleJobCancel},
+		{"GET /v1/portfolio/stats", a.handlePortfolioStats},
 		{"GET /v1/methods", a.handleMethods},
 		{"GET /v1/devices", a.handleDevices},
 		{"GET /v1/store/{address}", a.handleStoreExport},
@@ -462,7 +473,12 @@ func (a *API) decodeCompileRequest(r *http.Request) (*compileRequest, *apiError)
 	return &req, nil
 }
 
-// compileResponse is the wire shape of a successful compile.
+// compileResponse is the one result envelope every surface shares: the
+// body of POST /v1/compile, the result block of GET /v1/jobs/{id}, and
+// the anytime partial block (include_partial, ?result=partial). A
+// partial envelope carries model/method/modes/qubits/pauli_weight and
+// the mapping strings; cached/optimal/routed only apply to completed
+// results.
 type compileResponse struct {
 	Model       string          `json:"model"`
 	Method      string          `json:"method"`
@@ -497,22 +513,34 @@ type routedResponse struct {
 	QASM string `json:"qasm,omitempty"`
 }
 
-func toResponse(req *compileRequest, res *compiler.Result, elapsed time.Duration) compileResponse {
+// mappingStrings renders a mapping's 2N Majorana Pauli strings for the
+// wire. Shared by the sync, job-result, and partial envelopes so the
+// three surfaces cannot drift in how they spell a mapping.
+func mappingStrings(m *mapping.Mapping) []string {
+	out := make([]string, len(m.Majoranas))
+	for j, s := range m.Majoranas {
+		out[j] = s.String()
+	}
+	return out
+}
+
+// resultEnvelope renders a completed compile into the shared envelope.
+// withMapping gates the mapping strings, withQASM the routed circuit
+// text (orders of magnitude larger). Modes come from the mapping itself,
+// so job polls need no access to the original Hamiltonian.
+func resultEnvelope(model string, res *compiler.Result, elapsed time.Duration, withMapping, withQASM bool) compileResponse {
 	resp := compileResponse{
-		Model:       req.Model,
+		Model:       model,
 		Method:      res.Method,
-		Modes:       req.mh.Modes,
+		Modes:       res.Mapping.Modes,
 		Qubits:      res.Mapping.Qubits(),
 		PauliWeight: res.PredictedWeight,
 		Optimal:     res.Optimal,
 		Cached:      res.Cached,
 		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
 	}
-	if req.Strings {
-		resp.Mapping = make([]string, len(res.Mapping.Majoranas))
-		for j, s := range res.Mapping.Majoranas {
-			resp.Mapping[j] = s.String()
-		}
+	if withMapping {
+		resp.Mapping = mappingStrings(res.Mapping)
 	}
 	if r := res.Routed; r != nil {
 		resp.Routed = &routedResponse{
@@ -524,11 +552,27 @@ func toResponse(req *compileRequest, res *compiler.Result, elapsed time.Duration
 			Depth:       r.Depth,
 			FinalLayout: r.FinalLayout,
 		}
-		if req.routedQASM && r.Circuit != nil {
+		if withQASM && r.Circuit != nil {
 			resp.Routed.QASM = r.Circuit.QASM()
 		}
 	}
 	return resp
+}
+
+// partialEnvelope renders a job's validated best-so-far into the same
+// envelope a finished result uses. Method is the producing racer spec;
+// the mapping strings are always included — the whole point of a
+// partial is walking away with the incumbent mapping.
+func partialEnvelope(model string, p compiler.PartialResult, elapsed time.Duration) *compileResponse {
+	return &compileResponse{
+		Model:       model,
+		Method:      p.Method,
+		Modes:       p.Mapping.Modes,
+		Qubits:      p.Mapping.Qubits(),
+		PauliWeight: p.Weight,
+		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+		Mapping:     mappingStrings(p.Mapping),
+	}
 }
 
 // compileSync is the production sync-compile path behind POST
@@ -548,6 +592,12 @@ func (a *API) compileSync(ctx context.Context, req *compileRequest) (*compiler.R
 	opts = append(opts, req.devOpts...)
 	if a.mgr != nil && a.mgr.cfg.Store != nil {
 		opts = append(opts, compiler.WithStore(a.mgr.cfg.Store))
+	}
+	switch {
+	case a.mgr != nil && a.mgr.cfg.Ledger != nil:
+		opts = append(opts, compiler.WithMethodLedger(a.mgr.cfg.Ledger))
+	case a.ledger != nil:
+		opts = append(opts, compiler.WithMethodLedger(a.ledger))
 	}
 	timeout := a.timeout
 	if req.TimeoutMS > 0 {
@@ -595,7 +645,7 @@ func (a *API) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, err.Error())
 		return
 	}
-	resp := toResponse(req, res, time.Since(start))
+	resp := resultEnvelope(req.Model, res, time.Since(start), req.Strings, req.routedQASM)
 	if sc := obs.SpanContextFrom(r.Context()); sc.Valid() {
 		resp.TraceID = sc.TraceID.String()
 		if req.Trace {
@@ -659,10 +709,16 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // jobResponse is the wire shape of GET /v1/jobs/{id}: the status
-// snapshot plus, once done, the result.
+// snapshot plus, once done, the result — and under include_partial the
+// validated best-so-far block while the search is still running.
 type jobResponse struct {
 	Status
 	Result *compileResponse `json:"result,omitempty"`
+	// Partial is the job's validated best-so-far mapping, rendered in
+	// the same envelope as a finished result. Present only when the
+	// caller asked (include_partial=true on GET, result=partial on
+	// DELETE) and a method has produced a validated incumbent.
+	Partial *compileResponse `json:"partial,omitempty"`
 	// Trace is the job's buffered span timeline, present when the
 	// submission asked for tracing and the trace is still buffered.
 	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
@@ -682,12 +738,17 @@ func (a *API) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 			// no second endpoint to fetch them from); the routed QASM —
 			// orders of magnitude larger — only when the submission asked
 			// for include_strings.
-			jreq := &compileRequest{Model: st.Model, Strings: true, mh: mhOf(res)}
+			withQASM := false
 			if j, jerr := a.mgr.lookup(id); jerr == nil {
-				jreq.routedQASM = j.req.Strings
+				withQASM = j.req.Strings
 			}
-			cr := toResponse(jreq, res, st.Elapsed)
+			cr := resultEnvelope(st.Model, res, st.Elapsed, true, withQASM)
 			resp.Result = &cr
+		}
+	}
+	if boolParam(r, "include_partial") {
+		if p, ok, _ := a.mgr.Partial(id); ok {
+			resp.Partial = partialEnvelope(st.Model, p, st.Elapsed)
 		}
 	}
 	if st.TraceID != "" {
@@ -700,19 +761,63 @@ func (a *API) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// mhOf fabricates the minimal Hamiltonian view toResponse needs (mode
-// count only) from a finished result.
-func mhOf(res *compiler.Result) *fermion.MajoranaHamiltonian {
-	return &fermion.MajoranaHamiltonian{Modes: res.Mapping.Modes}
+// boolParam reads a query flag: present counts as true unless set to an
+// explicit false value.
+func boolParam(r *http.Request, name string) bool {
+	if !r.URL.Query().Has(name) {
+		return false
+	}
+	switch strings.ToLower(r.URL.Query().Get(name)) {
+	case "0", "false", "no":
+		return false
+	}
+	return true
 }
 
+// handleJobCancel aborts a job. The default response is the bare status
+// snapshot (unchanged wire shape); with ?result=partial the job is
+// canceled *and* its validated best-so-far comes back in the shared
+// envelope — the anytime bail-out: stop paying, keep the incumbent.
 func (a *API) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	st, err := a.mgr.Cancel(r.PathValue("id"))
+	id := r.PathValue("id")
+	wantPartial := strings.EqualFold(r.URL.Query().Get("result"), "partial")
+	st, err := a.mgr.Cancel(id)
 	if err != nil {
 		writeAPIErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	if !wantPartial {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	resp := jobResponse{Status: st}
+	if p, ok, _ := a.mgr.Partial(id); ok {
+		resp.Partial = partialEnvelope(st.Model, p, st.Elapsed)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePortfolioStats serves the portfolio ledger: per-(model-shape,
+// method) win/loss rows plus the race counters feeding /metrics. With no
+// ledger attached the counters still report; the ledger block is empty.
+func (a *API) handlePortfolioStats(w http.ResponseWriter, r *http.Request) {
+	snap := store.LedgerSnapshot{Shapes: []store.LedgerShapeStats{}}
+	if a.ledger != nil {
+		snap = a.ledger.Snapshot()
+		if snap.Shapes == nil {
+			snap.Shapes = []store.LedgerShapeStats{}
+		}
+	}
+	outcomes := compiler.PortfolioOutcomes()
+	oc := make([]map[string]any, 0, len(outcomes))
+	for _, o := range outcomes {
+		oc = append(oc, map[string]any{"method": o.Method, "outcome": o.Outcome, "count": o.Count})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"races":    compiler.PortfolioRaceCount(),
+		"outcomes": oc,
+		"ledger":   snap,
+	})
 }
 
 func (a *API) handleMethods(w http.ResponseWriter, r *http.Request) {
@@ -818,6 +923,14 @@ func (a *API) StatsSnapshot() map[string]any {
 	if a.fleet != nil {
 		out["fleet"] = a.fleet.Stats()
 	}
+	portfolio := map[string]any{
+		"races":    compiler.PortfolioRaceCount(),
+		"outcomes": compiler.PortfolioOutcomes(),
+	}
+	if a.ledger != nil {
+		portfolio["ledger"] = a.ledger.Snapshot()
+	}
+	out["portfolio"] = portfolio
 	if fault.Enabled() {
 		out["fault"] = map[string]any{
 			"plan":     fault.Active(),

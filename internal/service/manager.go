@@ -58,6 +58,10 @@ type Config struct {
 	ShedDepth int
 	// Store, when non-nil, is attached to every job via WithStore.
 	Store compiler.Store
+	// Ledger, when non-nil, is attached to every job via
+	// WithMethodLedger: completed portfolio races record their outcome
+	// and future races consult it for launch ordering.
+	Ledger compiler.MethodLedger
 	// KeepFinished bounds how many finished jobs remain pollable; the
 	// oldest are forgotten first. Non-positive means DefaultKeepFinished.
 	KeepFinished int
@@ -132,6 +136,11 @@ type Status struct {
 	Error    string        `json:"error,omitempty"`
 	Created  time.Time     `json:"created"`
 	Elapsed  time.Duration `json:"elapsed"`
+	// ProgressByMethod breaks Progress down per reporting method, which
+	// matters for portfolio jobs where several racers report
+	// concurrently: the aggregate Progress carries the best (lowest)
+	// weight any method reached, this map carries each racer's own view.
+	ProgressByMethod map[string]Progress `json:"progress_by_method,omitempty"`
 	// TraceID names the trace the job's spans record under, when the
 	// submission carried one.
 	TraceID string `json:"trace_id,omitempty"`
@@ -151,7 +160,9 @@ type job struct {
 
 	mu       sync.Mutex
 	state    State
-	progress Progress
+	progress map[string]Progress // keyed by reporting method (racer spec)
+	lastEv   string              // method of the most recent progress event
+	partial  *compiler.PartialResult
 	result   *compiler.Result
 	err      error
 	attached int
@@ -341,13 +352,38 @@ func (m *Manager) run(j *job) {
 	j.mu.Unlock()
 
 	opts := append([]compiler.Option(nil), j.req.Options...)
+	// Progress snapshots key by the reporting method: a portfolio's
+	// racers report concurrently, and a single map slot would let
+	// whichever racer spoke last overwrite the best weight seen so far.
 	opts = append(opts, compiler.WithProgress(func(ev compiler.ProgressEvent) {
 		j.mu.Lock()
-		j.progress = Progress{Stage: ev.Stage, Step: ev.Step, Total: ev.Total, BestWeight: ev.BestWeight}
+		if j.progress == nil {
+			j.progress = make(map[string]Progress)
+		}
+		j.progress[ev.Method] = Progress{Stage: ev.Stage, Step: ev.Step, Total: ev.Total, BestWeight: ev.BestWeight}
+		j.lastEv = ev.Method
+		j.mu.Unlock()
+	}))
+	// Anytime best-so-far: partials are re-validated (the same
+	// anticommutation check the fleet fill runs on arriving entries)
+	// before they become pollable, and only a strict improvement
+	// replaces the incumbent — a poller's partial weight never rises.
+	opts = append(opts, compiler.WithPartial(func(p compiler.PartialResult) {
+		if p.Mapping == nil || p.Mapping.Verify() != nil {
+			return
+		}
+		j.mu.Lock()
+		if j.partial == nil || p.Weight < j.partial.Weight {
+			pc := p
+			j.partial = &pc
+		}
 		j.mu.Unlock()
 	}))
 	if m.cfg.Store != nil {
 		opts = append(opts, compiler.WithStore(m.cfg.Store))
+	}
+	if m.cfg.Ledger != nil {
+		opts = append(opts, compiler.WithMethodLedger(m.cfg.Ledger))
 	}
 	timeout := m.cfg.MaxJobTime
 	if j.req.Timeout > 0 && j.req.Timeout < timeout {
@@ -442,9 +478,22 @@ func (j *job) status() Status {
 		Model:    j.model,
 		Spec:     j.spec,
 		Attached: j.attached,
-		Progress: j.progress,
 		Error:    "",
 		Created:  j.created,
+	}
+	if len(j.progress) > 0 {
+		st.ProgressByMethod = make(map[string]Progress, len(j.progress))
+		for m, p := range j.progress {
+			st.ProgressByMethod[m] = p
+		}
+		// Aggregate view: the stage/step of whichever method reported
+		// last, carrying the best (lowest) weight any method reached.
+		st.Progress = j.progress[j.lastEv]
+		for _, p := range j.progress {
+			if p.BestWeight > 0 && (st.Progress.BestWeight == 0 || p.BestWeight < st.Progress.BestWeight) {
+				st.Progress.BestWeight = p.BestWeight
+			}
+		}
 	}
 	if j.req.Trace.Valid() {
 		st.TraceID = j.req.Trace.TraceID.String()
@@ -499,6 +548,24 @@ func (m *Manager) Result(id string) (*compiler.Result, error) {
 	default:
 		return nil, ErrNotDone
 	}
+}
+
+// Partial returns a job's validated best-so-far result, when any method
+// has produced one. The snapshot is monotone — successive calls never
+// report a worse weight — and survives the job's terminal state, so a
+// canceled anytime job still serves its incumbent. ok is false while no
+// partial has been validated yet.
+func (m *Manager) Partial(id string) (p compiler.PartialResult, ok bool, err error) {
+	j, lerr := m.lookup(id)
+	if lerr != nil {
+		return compiler.PartialResult{}, false, lerr
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.partial == nil {
+		return compiler.PartialResult{}, false, nil
+	}
+	return *j.partial, true, nil
 }
 
 // Cancel aborts a queued or running job. Canceling a finished job is a

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/version"
+	"repro/pkg/compiler"
 )
 
 // WithObservability attaches a metrics registry and a trace buffer to
@@ -153,6 +154,21 @@ func (a *API) registerMetrics() {
 				return out
 			})
 	}
+	// Portfolio race counters read the compiler's package-level counters
+	// directly, so they report whether or not a ledger is attached.
+	reg.CounterFunc("hatt_portfolio_races_total", "Portfolio races started.", nil,
+		func() []obs.Sample { return []obs.Sample{{Value: float64(compiler.PortfolioRaceCount())}} })
+	reg.CounterFunc("hatt_portfolio_outcomes_total", "Portfolio racer outcomes by method and outcome.",
+		[]string{"method", "outcome"},
+		func() []obs.Sample {
+			outcomes := compiler.PortfolioOutcomes()
+			out := make([]obs.Sample, 0, len(outcomes))
+			for _, o := range outcomes {
+				out = append(out, obs.Sample{Labels: []string{o.Method, o.Outcome}, Value: float64(o.Count)})
+			}
+			return out
+		})
+
 	reg.CounterFunc("hatt_fault_injections_total", "Fault injections fired by site.", []string{"site"},
 		func() []obs.Sample {
 			fired := fault.Stats()

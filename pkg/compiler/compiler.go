@@ -73,6 +73,21 @@ type Options struct {
 	// hardware metrics in Result.Routed. See WithDevice/WithDeviceSpec.
 	DeviceName string
 	Device     *arch.Device
+	// Partial, when non-nil, receives best-so-far results from anytime
+	// methods (anneal improvements, portfolio racer completions) while
+	// the compile is still running. Deliveries are strictly
+	// weight-decreasing per compile and synchronous with the search; keep
+	// the callback cheap and concurrency-safe. See WithPartial.
+	Partial func(PartialResult)
+	// Ledger, when non-nil, records portfolio race outcomes and orders
+	// racer launch for future portfolio compiles. It influences
+	// scheduling only — never the compiled result — so cached results
+	// remain valid whatever the ledger held. See WithMethodLedger.
+	Ledger MethodLedger
+	// bound and boundPos thread a portfolio's shared incumbent into the
+	// racer sub-compiles; they are never set outside a portfolio race.
+	bound    *core.Bound
+	boundPos int
 }
 
 // Option mutates Options; see the With* constructors.
@@ -153,9 +168,43 @@ func WithAnnealRestarts(n int) Option {
 
 // WithProgress registers a callback for ProgressEvents. Every method
 // emits StageStart/StageDone; per-iteration StageSearch events currently
-// come from the anneal method. Events are delivered synchronously from
-// the compiling goroutine; keep the callback cheap.
+// come from the anneal method, and a portfolio emits StageStart/StageDone
+// per racer under the racer's spec. Events are delivered synchronously
+// from the compiling goroutine; keep the callback cheap.
 func WithProgress(fn func(ProgressEvent)) Option { return func(o *Options) { o.Progress = fn } }
+
+// PartialResult is a validated best-so-far mapping delivered to a
+// WithPartial callback while an anytime compile is still running. Weight
+// is the Pauli weight of Mapping on the compiled Hamiltonian and Method
+// names the producing spec (the racer spec inside a portfolio).
+type PartialResult struct {
+	Method  string
+	Weight  int
+	Mapping *mapping.Mapping
+}
+
+// WithPartial registers a callback for best-so-far results from anytime
+// methods (methods: anneal, portfolio). Deliveries are strictly
+// weight-decreasing within one compile and may come from worker
+// goroutines; the callback must be concurrency-safe and cheap. The final
+// Result is always at least as good as the last delivery.
+func WithPartial(fn func(PartialResult)) Option { return func(o *Options) { o.Partial = fn } }
+
+// MethodLedger records portfolio race outcomes keyed by a model-shape
+// string and suggests a racer ordering for future races. Rank returns
+// the given specs reordered by expected strength (unknown specs keep
+// their relative order); Record logs one race. Implementations must be
+// safe for concurrent use. The ledger steers which racer launches first
+// when the worker pool is narrower than the field — it never changes the
+// race's deterministic winner.
+type MethodLedger interface {
+	Rank(shape string, specs []string) []string
+	Record(shape, winner string, losers []string)
+}
+
+// WithMethodLedger attaches a ledger consulted and updated by portfolio
+// compiles (methods: portfolio). See MethodLedger for the contract.
+func WithMethodLedger(l MethodLedger) Option { return func(o *Options) { o.Ledger = l } }
 
 // Progress stages.
 const (

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fermion"
@@ -71,6 +72,8 @@ func init() {
 		r, err := core.BuildWithOptionsCtx(ctx, mh, core.BuildOptions{
 			TieBreak: opts.TieBreak,
 			Workers:  opts.Parallelism,
+			Bound:    opts.bound,
+			BoundPos: opts.boundPos,
 		})
 		if err != nil {
 			return nil, err
@@ -79,15 +82,24 @@ func init() {
 	}})
 
 	MustRegister(method{name: "hatt-unopt", run: func(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts Options) (*Result, error) {
-		return fromCore("hatt-unopt", core.BuildUnopt(mh)), nil
+		r, err := core.BuildUnoptCtx(ctx, mh, core.UnoptOptions{
+			Bound:    opts.bound,
+			BoundPos: opts.boundPos,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return fromCore("hatt-unopt", r), nil
 	}})
 
 	MustRegister(method{
 		name: "beam",
 		run: func(ctx context.Context, mh *fermion.MajoranaHamiltonian, opts Options) (*Result, error) {
 			r, err := core.BuildBeamOpts(ctx, mh, core.BeamOptions{
-				Width:   opts.BeamWidth,
-				Workers: opts.Parallelism,
+				Width:    opts.BeamWidth,
+				Workers:  opts.Parallelism,
+				Bound:    opts.bound,
+				BoundPos: opts.boundPos,
 			})
 			if err != nil {
 				return nil, err
@@ -144,10 +156,30 @@ func init() {
 			Seed:     opts.Seed,
 			Restarts: opts.AnnealRestarts,
 			Workers:  opts.Parallelism,
+			Bound:    opts.bound,
+			BoundPos: opts.boundPos,
 		}
 		if opts.Progress != nil {
 			aopts.Progress = func(iter, iters, best int) {
 				opts.emit(ProgressEvent{Method: "anneal", Stage: StageSearch, Step: iter, Total: iters, BestWeight: best})
+			}
+		}
+		if opts.Partial != nil {
+			// Chains report improvements that are only monotone per chain;
+			// gate deliveries behind a compile-wide incumbent so the
+			// WithPartial contract (strictly decreasing weights) holds at
+			// any restart count. The emit stays under the mutex to keep
+			// deliveries ordered.
+			var mu sync.Mutex
+			best := int(^uint(0) >> 1)
+			aopts.OnImprove = func(r *core.Result) {
+				mu.Lock()
+				defer mu.Unlock()
+				if r.PredictedWeight >= best {
+					return
+				}
+				best = r.PredictedWeight
+				opts.Partial(PartialResult{Method: "anneal", Weight: r.PredictedWeight, Mapping: r.Mapping})
 			}
 		}
 		r, err := core.AnnealCtx(ctx, mh, aopts)

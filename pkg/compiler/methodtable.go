@@ -25,6 +25,7 @@ var methodDescriptions = map[string]MethodInfo{
 	"beam":       {Param: "beam:<width>", Description: "vacuum-preserving beam search over HATT space"},
 	"fh":         {Param: "fh:<budget>", Description: "exhaustive branch-and-bound (Fermihedral substitute)"},
 	"anneal":     {Description: "simulated annealing over tree space"},
+	"portfolio":  {Param: "portfolio:<m1+m2+…>", Description: "races methods under a shared incumbent bound, anytime best-so-far"},
 }
 
 // MethodTable returns one row per registered method, in Methods() order

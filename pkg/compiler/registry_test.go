@@ -14,6 +14,7 @@ import (
 var allSpecs = []string{
 	"jw", "bk", "parity", "btt",
 	"hatt", "hatt-unopt", "beam:2", "fh:50000", "anneal",
+	"portfolio", "portfolio:hatt+anneal",
 }
 
 func testMajorana(t testing.TB) *fermion.MajoranaHamiltonian {
@@ -22,7 +23,7 @@ func testMajorana(t testing.TB) *fermion.MajoranaHamiltonian {
 }
 
 func TestAllMethodsResolvable(t *testing.T) {
-	want := []string{"anneal", "beam", "bk", "btt", "fh", "hatt", "hatt-unopt", "jw", "parity"}
+	want := []string{"anneal", "beam", "bk", "btt", "fh", "hatt", "hatt-unopt", "jw", "parity", "portfolio"}
 	got := Methods()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("Methods() = %v, want %v", got, want)
